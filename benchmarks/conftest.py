@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+The simulated worlds are the expensive part (the cameras world indexes
+~7,000 pages and simulates 120,000 sessions), so they are built once per
+benchmark session and shared by every benchmark.  Rendered experiment
+output is written to ``benchmarks/results/`` so the rows/series the paper
+reports can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.simulation import ScenarioConfig, build_world  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def movies_world():
+    """The D1 preset: 100 movie titles."""
+    return build_world(ScenarioConfig.movies())
+
+
+@pytest.fixture(scope="session")
+def cameras_world():
+    """The D2 preset: 882 camera names."""
+    return build_world(ScenarioConfig.cameras())
+
+
+@pytest.fixture(scope="session")
+def toy_world():
+    """A small world for micro-benchmarks that only need realistic data."""
+    return build_world(ScenarioConfig.toy())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered experiment table next to the benchmark timings."""
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the substrates and the miner itself.
+
+These do not correspond to a table or figure in the paper (the paper does
+not report running times); they exist so regressions in the expensive code
+paths — indexing, query execution, click simulation, mining, online
+matching — are visible when the library evolves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MinerConfig, SynonymMiner
+from repro.matching import QueryMatcher, SynonymDictionary
+from repro.search.engine import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.simulation.users import ClickSimulator, QueryPopulation
+
+
+@pytest.fixture(scope="module")
+def movies_miner(movies_world):
+    return SynonymMiner(
+        click_log=movies_world.click_log,
+        search_log=movies_world.search_log,
+        config=MinerConfig.paper_default(),
+    )
+
+
+@pytest.fixture(scope="module")
+def movies_dictionary(movies_world, movies_miner):
+    result = movies_miner.mine(movies_world.canonical_queries())
+    return SynonymDictionary.from_mining_result(result, movies_world.catalog)
+
+
+class TestSearchSubstrate:
+    def test_index_build(self, benchmark, movies_world):
+        corpus = movies_world.corpus
+        index = benchmark(InvertedIndex.from_corpus, corpus)
+        assert index.document_count == len(corpus)
+
+    def test_query_throughput(self, benchmark, movies_world):
+        engine = movies_world.engine
+        queries = [entity.normalized_name for entity in movies_world.catalog][:50]
+
+        def run_batch():
+            return [engine.search(query, k=10) for query in queries]
+
+        results = benchmark(run_batch)
+        assert all(batch for batch in results)
+
+    def test_engine_construction(self, benchmark, toy_world):
+        engine = benchmark(SearchEngine, toy_world.corpus)
+        assert engine.document_count == len(toy_world.corpus)
+
+
+class TestClickSimulation:
+    def test_click_log_generation(self, benchmark, toy_world):
+        population = QueryPopulation.from_alias_table(
+            toy_world.catalog, toy_world.alias_table, toy_world.config.user_model
+        )
+        simulator = ClickSimulator(toy_world.engine, toy_world.catalog)
+
+        log = benchmark.pedantic(
+            simulator.simulate_click_log, args=(population,), rounds=3, iterations=1
+        )
+        assert log.total_click_volume() > 0
+
+
+class TestMiner:
+    def test_mine_single_entity(self, benchmark, movies_world, movies_miner):
+        canonical = movies_world.canonical_queries()[0]
+        entry = benchmark(movies_miner.mine_one, canonical)
+        assert entry.canonical == canonical
+
+    def test_mine_full_catalog(self, benchmark, movies_world, movies_miner):
+        result = benchmark.pedantic(
+            movies_miner.mine, args=(movies_world.canonical_queries(),), rounds=3, iterations=1
+        )
+        assert len(result) == len(movies_world.catalog)
+
+    def test_reselect_is_cheap(self, benchmark, movies_world, movies_miner):
+        scored = movies_miner.mine(movies_world.canonical_queries())
+        reselected = benchmark(
+            movies_miner.reselect, scored, ipc_threshold=6, icr_threshold=0.4
+        )
+        assert reselected.synonym_count <= scored.synonym_count
+
+
+class TestOnlineMatching:
+    def test_exact_match_throughput(self, benchmark, movies_dictionary):
+        matcher = QueryMatcher(movies_dictionary, enable_fuzzy=False)
+        queries = [f"{text} showtimes tonight" for text in list(
+            entry.text for entry in movies_dictionary
+        )[:200]]
+
+        def run_batch():
+            return [matcher.match(query) for query in queries]
+
+        matches = benchmark(run_batch)
+        assert sum(1 for match in matches if match.matched) > len(queries) * 0.9
+
+    def test_fuzzy_match_latency(self, benchmark, movies_dictionary):
+        matcher = QueryMatcher(movies_dictionary, enable_fuzzy=True)
+        match = benchmark(matcher.match, "jakc harrow 2 eclpise showtimes")
+        assert match is not None

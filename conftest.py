@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes ``src/`` importable even when the package has not been installed
+(useful in offline environments where editable installs are unavailable);
+when the package *is* installed the inserted path is harmless.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Fuzzy Matching of Web Queries to Structured Data".
+
+Cheng, Lauw, Paparizos (ICDE 2010) mine search-engine query and click logs
+to expand canonical entity strings ("Indiana Jones and the Kingdom of the
+Crystal Skull") with the informal synonyms users actually type ("Indy 4"),
+so that live Web queries can be matched to structured data.
+
+Top-level packages:
+
+* :mod:`repro.core`        — the two-phase miner (surrogates → candidates →
+  IPC/ICR selection), the paper's contribution;
+* :mod:`repro.matching`    — the online fuzzy query-to-entity matcher built
+  on the mined dictionary;
+* :mod:`repro.search`, :mod:`repro.clicklog`, :mod:`repro.storage`,
+  :mod:`repro.text`        — the substrates (search engine, click logs,
+  persistence, text processing);
+* :mod:`repro.simulation`  — synthetic stand-ins for the proprietary inputs
+  (Bing logs, catalogs, Wikipedia);
+* :mod:`repro.baselines`   — Wikipedia-redirect, random-walk and
+  string-similarity baselines;
+* :mod:`repro.eval`        — metrics and runners for Figure 2, Figure 3 and
+  Table I.
+
+Quickstart::
+
+    from repro.simulation import ScenarioConfig, build_world
+    from repro.core import SynonymMiner, MinerConfig
+
+    world = build_world(ScenarioConfig.toy())
+    miner = SynonymMiner(click_log=world.click_log,
+                         search_log=world.search_log,
+                         config=MinerConfig.paper_default())
+    result = miner.mine(world.canonical_queries())
+    print(result.as_dictionary())
+"""
+
+from repro.core import MinerConfig, SynonymMiner, MiningResult, SynonymCandidate
+from repro.matching import QueryMatcher, SynonymDictionary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MinerConfig",
+    "SynonymMiner",
+    "MiningResult",
+    "SynonymCandidate",
+    "QueryMatcher",
+    "SynonymDictionary",
+    "__version__",
+]

@@ -1,0 +1,128 @@
+"""Co-click query-similarity baseline (Wen, Nie & Zhang, WWW 2001 style).
+
+The paper's related-work section discusses approaches that measure the
+similarity between queries from Web data — query clustering, semantic
+relation discovery, query suggestion — and argues they "do not work well
+for our problem" because (a) they surface *related* queries that are not
+synonyms, and (b) the canonical data values rarely appear as queries at
+all.
+
+This baseline makes that argument concrete with the simplest member of the
+family: two queries are similar when the sets of URLs they click overlap
+(Jaccard similarity over clicked URL sets, optionally weighted by clicks).
+Synonyms score high under this measure — but so do hypernyms and strongly
+related queries, and a canonical string that never occurs in the click log
+has an empty click set and therefore no neighbours, exactly the two failure
+modes the paper names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.clicklog.log import ClickLog
+from repro.core.types import EntitySynonyms, MiningResult, SynonymCandidate
+from repro.text.normalize import normalize
+
+__all__ = ["CoClickConfig", "CoClickSynonymFinder"]
+
+
+@dataclass(frozen=True)
+class CoClickConfig:
+    """Parameters of the co-click similarity baseline.
+
+    ``similarity_threshold`` is the minimum Jaccard overlap of clicked URL
+    sets; ``weighted`` switches to a click-weighted (generalised) Jaccard;
+    ``max_synonyms`` caps the neighbours reported per input value.
+    """
+
+    similarity_threshold: float = 0.3
+    weighted: bool = True
+    max_synonyms: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+        if self.max_synonyms < 1:
+            raise ValueError("max_synonyms must be >= 1")
+
+
+class CoClickSynonymFinder:
+    """Synonyms as nearest neighbours under co-click Jaccard similarity."""
+
+    def __init__(self, click_log: ClickLog, config: CoClickConfig | None = None) -> None:
+        self.click_log = click_log
+        self.config = config or CoClickConfig()
+
+    # ------------------------------------------------------------------ #
+    # Similarity
+    # ------------------------------------------------------------------ #
+
+    def similarity(self, query_a: str, query_b: str) -> float:
+        """Co-click similarity of two queries in [0, 1]."""
+        clicks_a = self.click_log.clicks_by_url(normalize(query_a))
+        clicks_b = self.click_log.clicks_by_url(normalize(query_b))
+        if not clicks_a or not clicks_b:
+            return 0.0
+        if not self.config.weighted:
+            set_a, set_b = set(clicks_a), set(clicks_b)
+            return len(set_a & set_b) / len(set_a | set_b)
+        urls = set(clicks_a) | set(clicks_b)
+        minimum = sum(min(clicks_a.get(url, 0), clicks_b.get(url, 0)) for url in urls)
+        maximum = sum(max(clicks_a.get(url, 0), clicks_b.get(url, 0)) for url in urls)
+        if maximum == 0:
+            return 0.0
+        return minimum / maximum
+
+    def neighbours(self, query: str) -> list[tuple[str, float]]:
+        """Queries sharing at least one clicked URL with *query*, scored.
+
+        Only queries co-clicking a common URL can have non-zero similarity,
+        so the scan is restricted to that neighbourhood rather than the
+        whole log.
+        """
+        canonical = normalize(query)
+        clicked = self.click_log.urls_clicked_for(canonical)
+        if not clicked:
+            return []
+        candidates: set[str] = set()
+        for url in clicked:
+            candidates.update(self.click_log.queries_clicking(url))
+        candidates.discard(canonical)
+        scored = [
+            (candidate, self.similarity(canonical, candidate)) for candidate in candidates
+        ]
+        scored = [(candidate, score) for candidate, score in scored if score > 0.0]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored
+
+    # ------------------------------------------------------------------ #
+    # MiningResult-shaped output
+    # ------------------------------------------------------------------ #
+
+    def find_one(self, value: str) -> EntitySynonyms:
+        """Synonyms of one canonical string as its co-click neighbours."""
+        canonical = normalize(value)
+        selected: list[SynonymCandidate] = []
+        candidates: list[SynonymCandidate] = []
+        for query, score in self.neighbours(canonical):
+            candidate = SynonymCandidate(
+                query=query,
+                ipc=0,
+                icr=min(score, 1.0),
+                clicks=self.click_log.total_clicks(query),
+            )
+            candidates.append(candidate)
+            if score >= self.config.similarity_threshold and len(selected) < self.config.max_synonyms:
+                selected.append(candidate)
+        return EntitySynonyms(
+            canonical=canonical, surrogates=(), candidates=candidates, selected=selected
+        )
+
+    def find(self, values: Iterable[str]) -> MiningResult:
+        """Run the baseline over a whole input set."""
+        result = MiningResult()
+        for value in values:
+            result.add(self.find_one(value))
+        return result

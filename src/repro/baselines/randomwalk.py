@@ -1,0 +1,145 @@
+"""Random walk on the click graph (the "Walk(0.8)" rows of Table I).
+
+The paper's second baseline runs the random-walk query-similarity method of
+Craswell & Szummer ("Random walks on the click graph", SIGIR 2007), in the
+form used by Fuxman et al. for keyword generation, with default parameters
+— reported as ``Walk(0.8)``, i.e. a lazy walk whose self-transition
+probability is 0.8.
+
+The walk operates entirely on the bipartite query–URL click graph: starting
+from the input value *as a query node*, probability mass alternates between
+query and URL nodes (with probability ``self_transition`` of staying put at
+every step).  After a fixed number of steps, the probability mass that
+settled on *other* query nodes ranks candidate synonyms.
+
+The structural weakness the paper points out falls straight out of the
+construction: if the canonical string was never issued as a query (common
+for verbose camera names), there is no start node and the method returns
+nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.clicklog.graph import ClickGraph
+from repro.core.types import EntitySynonyms, MiningResult, SynonymCandidate
+from repro.text.normalize import normalize
+
+__all__ = ["RandomWalkConfig", "RandomWalkSynonymFinder"]
+
+
+@dataclass(frozen=True)
+class RandomWalkConfig:
+    """Parameters of the lazy random walk.
+
+    ``self_transition`` is the probability of staying on the current node
+    at each step (0.8 reproduces the paper's Walk(0.8) setting);
+    ``steps`` is the number of walk steps (Craswell & Szummer use short
+    walks); ``probability_threshold`` and ``max_synonyms`` control how much
+    of the settled probability mass is reported as synonyms.
+    """
+
+    self_transition: float = 0.8
+    steps: int = 5
+    probability_threshold: float = 0.06
+    max_synonyms: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.self_transition < 1.0:
+            raise ValueError("self_transition must be in [0, 1)")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if not 0.0 <= self.probability_threshold <= 1.0:
+            raise ValueError("probability_threshold must be in [0, 1]")
+        if self.max_synonyms < 1:
+            raise ValueError("max_synonyms must be >= 1")
+
+
+class RandomWalkSynonymFinder:
+    """Synonyms via a lazy random walk on the click graph."""
+
+    def __init__(self, click_graph: ClickGraph, config: RandomWalkConfig | None = None) -> None:
+        self.graph = click_graph
+        self.config = config or RandomWalkConfig()
+
+    # ------------------------------------------------------------------ #
+    # The walk
+    # ------------------------------------------------------------------ #
+
+    def walk_distribution(self, start_query: str) -> dict[str, float]:
+        """Probability mass over *query nodes* after the configured walk.
+
+        The walk alternates between the query side and the URL side of the
+        bipartite graph; at every step the walker stays put with probability
+        ``self_transition`` and otherwise follows a click-weighted edge.
+        Returns an empty dict when the start query is not in the graph.
+        """
+        start = normalize(start_query)
+        if not self.graph.has_query(start):
+            return {}
+        stay = self.config.self_transition
+        move = 1.0 - stay
+
+        query_mass: dict[str, float] = {start: 1.0}
+        url_mass: dict[str, float] = {}
+        for _step in range(self.config.steps):
+            next_query: dict[str, float] = {}
+            next_url: dict[str, float] = {}
+            # Mass on query nodes: part stays, part flows to URLs.
+            for query, mass in query_mass.items():
+                next_query[query] = next_query.get(query, 0.0) + mass * stay
+                for url, probability in self.graph.transition_from_query(query).items():
+                    next_url[url] = next_url.get(url, 0.0) + mass * move * probability
+            # Mass on URL nodes: part stays, part flows back to queries.
+            for url, mass in url_mass.items():
+                next_url[url] = next_url.get(url, 0.0) + mass * stay
+                for query, probability in self.graph.transition_from_url(url).items():
+                    next_query[query] = next_query.get(query, 0.0) + mass * move * probability
+            query_mass, url_mass = next_query, next_url
+
+        # Report only the mass that is currently on query nodes, renormalised,
+        # excluding the start node itself.
+        query_mass.pop(start, None)
+        total = sum(query_mass.values())
+        if total == 0.0:
+            return {}
+        return {query: mass / total for query, mass in query_mass.items()}
+
+    # ------------------------------------------------------------------ #
+    # Synonym production (MiningResult-shaped, like every other method)
+    # ------------------------------------------------------------------ #
+
+    def find_one(self, value: str) -> EntitySynonyms:
+        """Synonyms of one canonical string via the walk."""
+        canonical = normalize(value)
+        distribution = self.walk_distribution(canonical)
+        ranked = sorted(distribution.items(), key=lambda item: (-item[1], item[0]))
+        selected: list[SynonymCandidate] = []
+        for query, probability in ranked:
+            if probability < self.config.probability_threshold:
+                continue
+            if len(selected) >= self.config.max_synonyms:
+                break
+            selected.append(
+                SynonymCandidate(
+                    query=query,
+                    ipc=0,
+                    icr=min(probability, 1.0),
+                    clicks=0,
+                )
+            )
+        return EntitySynonyms(
+            canonical=canonical,
+            surrogates=(),
+            candidates=list(selected),
+            selected=selected,
+        )
+
+    def find(self, values: Iterable[str]) -> MiningResult:
+        """Run the baseline over a whole input set."""
+        result = MiningResult()
+        for value in values:
+            result.add(self.find_one(value))
+        return result

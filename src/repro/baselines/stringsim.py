@@ -1,0 +1,104 @@
+"""String-similarity baseline (the approach the introduction criticises).
+
+The paper's introduction observes that substring / string-similarity
+matching works for easy cases ("Madagascar 2" from "Madagascar: Escape 2
+Africa"), produces false positives for others ("Escape Africa"), and is
+hopeless when the synonym shares no characters with the canonical form
+("Canon EOS 350D" vs "Digital Rebel XT").  This baseline makes that
+argument reproducible: it scans the distinct queries of the click log and
+reports as synonyms all queries sufficiently similar to the canonical
+string under a combination of token containment and edit-distance
+similarity.
+
+It is not part of the paper's Table I but is included as an ablation /
+sanity baseline, and the camera dataset demonstrates its blindness to
+codename synonyms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.clicklog.log import ClickLog
+from repro.core.types import EntitySynonyms, MiningResult, SynonymCandidate
+from repro.text.normalize import normalize
+from repro.text.similarity import levenshtein_similarity, token_containment
+from repro.text.tokenize import tokenize
+
+__all__ = ["StringSimilarityConfig", "StringSimilaritySynonymFinder"]
+
+
+@dataclass(frozen=True)
+class StringSimilarityConfig:
+    """Thresholds of the string-similarity baseline.
+
+    A candidate query is a synonym when its tokens are contained in the
+    canonical string's tokens at ratio ≥ ``containment_threshold``, or when
+    the whole-string edit similarity is ≥ ``similarity_threshold``.
+    """
+
+    containment_threshold: float = 0.99
+    similarity_threshold: float = 0.82
+    max_synonyms: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.containment_threshold <= 1.0:
+            raise ValueError("containment_threshold must be in [0, 1]")
+        if not 0.0 <= self.similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+        if self.max_synonyms < 1:
+            raise ValueError("max_synonyms must be >= 1")
+
+
+class StringSimilaritySynonymFinder:
+    """Synonyms by surface-string similarity against the query log."""
+
+    def __init__(self, click_log: ClickLog, config: StringSimilarityConfig | None = None) -> None:
+        self.click_log = click_log
+        self.config = config or StringSimilarityConfig()
+        self._queries = [normalize(query) for query in click_log.queries()]
+
+    def find_one(self, value: str) -> EntitySynonyms:
+        """Synonyms of one canonical string by string similarity."""
+        canonical = normalize(value)
+        canonical_tokens = tokenize(canonical, normalized=True)
+        scored: list[tuple[float, SynonymCandidate]] = []
+        for query in self._queries:
+            if query == canonical:
+                continue
+            query_tokens = tokenize(query, normalized=True)
+            containment = token_containment(query_tokens, canonical_tokens)
+            similarity = levenshtein_similarity(query, canonical)
+            if (
+                containment < self.config.containment_threshold
+                and similarity < self.config.similarity_threshold
+            ):
+                continue
+            score = max(containment, similarity)
+            scored.append(
+                (
+                    score,
+                    SynonymCandidate(
+                        query=query,
+                        ipc=0,
+                        icr=0.0,
+                        clicks=self.click_log.total_clicks(query),
+                    ),
+                )
+            )
+        scored.sort(key=lambda item: (-item[0], item[1].query))
+        selected = [candidate for _score, candidate in scored[: self.config.max_synonyms]]
+        return EntitySynonyms(
+            canonical=canonical,
+            surrogates=(),
+            candidates=[candidate for _score, candidate in scored],
+            selected=selected,
+        )
+
+    def find(self, values: Iterable[str]) -> MiningResult:
+        """Run the baseline over a whole input set."""
+        result = MiningResult()
+        for value in values:
+            result.add(self.find_one(value))
+        return result

@@ -1,0 +1,235 @@
+"""Command-line interface.
+
+Four subcommands cover the offline workflow end to end without writing any
+Python:
+
+* ``simulate``    — build a simulated world and dump its catalog, Search
+  Data and Click Data as JSONL files (the shape a real log-delivery
+  pipeline would produce);
+* ``mine``        — run the two-phase miner over JSONL logs and write the
+  expanded dictionary as JSONL (and optionally into a SQLite database);
+* ``match``       — match live queries (arguments or stdin) against a
+  mined dictionary;
+* ``experiments`` — regenerate Figure 2, Figure 3 and Table I as text.
+
+Invoke as ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.clicklog.log import ClickLog, SearchLog
+from repro.clicklog.records import ClickRecord, SearchRecord
+from repro.core.config import MinerConfig
+from repro.core.pipeline import SynonymMiner
+from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
+from repro.matching.matcher import QueryMatcher
+from repro.simulation.scenario import ScenarioConfig, build_world
+from repro.storage.jsonl import read_jsonl, write_jsonl
+from repro.storage.sqlite_store import LogDatabase
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fuzzy matching of Web queries to structured data (ICDE 2010 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="build a simulated world and dump its logs as JSONL"
+    )
+    simulate.add_argument("--dataset", choices=("toy", "movies", "cameras"), default="toy")
+    simulate.add_argument("--entities", type=int, default=None, help="override the entity count")
+    simulate.add_argument("--sessions", type=int, default=None, help="override the session count")
+    simulate.add_argument("--seed", type=int, default=11)
+    simulate.add_argument("--output", type=Path, required=True, help="output directory")
+
+    mine = subparsers.add_parser("mine", help="mine synonyms from JSONL search/click logs")
+    mine.add_argument("--search", type=Path, required=True, help="search data JSONL (query,url,rank)")
+    mine.add_argument("--clicks", type=Path, required=True, help="click data JSONL (query,url,clicks)")
+    mine.add_argument(
+        "--values", type=Path, required=True,
+        help="text file with one canonical data value per line",
+    )
+    mine.add_argument("--ipc", type=int, default=4, help="IPC threshold β (default 4)")
+    mine.add_argument("--icr", type=float, default=0.1, help="ICR threshold γ (default 0.1)")
+    mine.add_argument("--top-k", type=int, default=10, help="surrogate top-k cut-off")
+    mine.add_argument("--output", type=Path, required=True, help="output synonyms JSONL")
+    mine.add_argument("--database", type=Path, default=None, help="also persist into this SQLite file")
+
+    match = subparsers.add_parser("match", help="match live queries against a mined dictionary")
+    match.add_argument("--synonyms", type=Path, required=True, help="synonyms JSONL from `mine`")
+    match.add_argument("--no-fuzzy", action="store_true", help="disable the fuzzy fallback")
+    match.add_argument("queries", nargs="*", help="queries to match (reads stdin when omitted)")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's figures and tables as text"
+    )
+    experiments.add_argument("--artifact", choices=("figure2", "figure3", "table1", "all"), default="all")
+    experiments.add_argument("--quick", action="store_true", help="smaller worlds, faster")
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+
+def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    overrides = {"seed": args.seed}
+    if args.entities is not None:
+        overrides["entity_count"] = args.entities
+    if args.sessions is not None:
+        overrides["session_count"] = args.sessions
+    if args.dataset == "movies":
+        return ScenarioConfig.movies(**overrides)
+    if args.dataset == "cameras":
+        return ScenarioConfig.cameras(**overrides)
+    return ScenarioConfig.toy(**overrides)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    world = build_world(_scenario_from_args(args))
+    output: Path = args.output
+    output.mkdir(parents=True, exist_ok=True)
+
+    write_jsonl(output / "search_data.jsonl", world.search_log.iter_records())
+    write_jsonl(output / "click_data.jsonl", world.click_log.iter_records())
+    write_jsonl(
+        output / "catalog.jsonl",
+        (
+            {
+                "entity_id": entity.entity_id,
+                "canonical_name": entity.canonical_name,
+                "domain": entity.domain,
+                "popularity": entity.popularity,
+            }
+            for entity in world.catalog
+        ),
+    )
+    (output / "values.txt").write_text(
+        "\n".join(world.canonical_queries()) + "\n", encoding="utf-8"
+    )
+    print(f"simulated {world.summary()} -> {output}")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    search_log = SearchLog(
+        SearchRecord(row["query"], row["url"], row["rank"]) for row in read_jsonl(args.search)
+    )
+    click_log = ClickLog(
+        ClickRecord(row["query"], row["url"], row["clicks"]) for row in read_jsonl(args.clicks)
+    )
+    values = [
+        line.strip()
+        for line in args.values.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    config = MinerConfig(surrogate_k=args.top_k, ipc_threshold=args.ipc, icr_threshold=args.icr)
+    miner = SynonymMiner(click_log=click_log, search_log=search_log, config=config)
+    result = miner.mine(values)
+
+    rows = [
+        {
+            "canonical": entry.canonical,
+            "synonym": candidate.query,
+            "ipc": candidate.ipc,
+            "icr": round(candidate.icr, 4),
+            "clicks": candidate.clicks,
+        }
+        for entry in result
+        for candidate in entry.selected
+    ]
+    write_jsonl(args.output, rows)
+    if args.database is not None:
+        with LogDatabase(args.database) as database:
+            miner.store(result, database)
+    print(
+        f"mined {result.synonym_count} synonyms for {result.hit_count}/{len(result)} values "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    dictionary = SynonymDictionary(
+        DictionaryEntry(row["synonym"], row["canonical"], source="mined")
+        for row in read_jsonl(args.synonyms)
+    )
+    for row in read_jsonl(args.synonyms):
+        dictionary.add(DictionaryEntry(row["canonical"], row["canonical"], source="canonical"))
+    matcher = QueryMatcher(dictionary, enable_fuzzy=not args.no_fuzzy)
+
+    queries = list(args.queries)
+    if not queries:
+        queries = [line.strip() for line in sys.stdin if line.strip()]
+    for query in queries:
+        match = matcher.match(query)
+        payload = {
+            "query": query,
+            "matched": match.matched,
+            "outcome": match.outcome.value,
+            "entities": sorted(match.entity_ids),
+            "matched_text": match.matched_text,
+            "remainder": match.remainder,
+        }
+        print(json.dumps(payload, ensure_ascii=False))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import run_icr_sweep, run_ipc_sweep, run_table1
+    from repro.eval.reporting import render_icr_sweep, render_ipc_sweep, render_table1
+
+    if args.quick:
+        movies_config = ScenarioConfig.movies(entity_count=60, session_count=20_000)
+        cameras_config = ScenarioConfig.cameras(entity_count=250, session_count=40_000)
+    else:
+        movies_config = ScenarioConfig.movies()
+        cameras_config = ScenarioConfig.cameras()
+
+    movies = build_world(movies_config)
+    if args.artifact in ("figure2", "all"):
+        print(render_ipc_sweep(run_ipc_sweep(movies)))
+        print()
+    if args.artifact in ("figure3", "all"):
+        print(render_icr_sweep(run_icr_sweep(movies)))
+        print()
+    if args.artifact in ("table1", "all"):
+        cameras = build_world(cameras_config)
+        print(render_table1(run_table1([movies, cameras])))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "mine": _cmd_mine,
+    "match": _cmd_match,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

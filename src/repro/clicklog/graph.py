@@ -1,0 +1,138 @@
+"""Bipartite query–URL click graph.
+
+The random-walk baseline (Craswell & Szummer's click-graph walk, used by
+Fuxman et al. for keyword generation — the paper's "Walk(0.8)" row in
+Table I) operates on the click graph rather than on the aggregated log, so
+the graph gets its own representation here: nodes are queries and URLs,
+edges are click counts, and transition probabilities are click-weighted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.clicklog.log import ClickLog
+
+__all__ = ["ClickGraph", "GraphStats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a click graph."""
+
+    query_count: int
+    url_count: int
+    edge_count: int
+    total_clicks: int
+
+    @property
+    def average_degree_query(self) -> float:
+        """Mean number of distinct URLs per query node."""
+        if self.query_count == 0:
+            return 0.0
+        return self.edge_count / self.query_count
+
+
+class ClickGraph:
+    """Undirected weighted bipartite graph between queries and URLs.
+
+    Node naming: query nodes and URL nodes live in separate namespaces, so a
+    string that happens to be both a query and a URL never collapses into
+    one node.
+    """
+
+    def __init__(self) -> None:
+        self._query_edges: dict[str, dict[str, int]] = defaultdict(dict)
+        self._url_edges: dict[str, dict[str, int]] = defaultdict(dict)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_click_log(cls, click_log: ClickLog) -> "ClickGraph":
+        """Build the graph from an aggregated click log."""
+        graph = cls()
+        for record in click_log.iter_records():
+            graph.add_edge(record.query, record.url, record.clicks)
+        return graph
+
+    def add_edge(self, query: str, url: str, clicks: int) -> None:
+        """Add *clicks* to the (query, url) edge weight."""
+        if clicks <= 0:
+            raise ValueError(f"clicks must be positive, got {clicks}")
+        self._query_edges[query][url] = self._query_edges[query].get(url, 0) + clicks
+        self._url_edges[url][query] = self._url_edges[url].get(query, 0) + clicks
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    def queries(self) -> list[str]:
+        """All query nodes."""
+        return list(self._query_edges)
+
+    def urls(self) -> list[str]:
+        """All URL nodes."""
+        return list(self._url_edges)
+
+    def has_query(self, query: str) -> bool:
+        """True if *query* appears as a query node."""
+        return query in self._query_edges
+
+    def urls_of_query(self, query: str) -> dict[str, int]:
+        """{url: clicks} adjacency of a query node (empty dict if absent)."""
+        return dict(self._query_edges.get(query, {}))
+
+    def queries_of_url(self, url: str) -> dict[str, int]:
+        """{query: clicks} adjacency of a URL node (empty dict if absent)."""
+        return dict(self._url_edges.get(url, {}))
+
+    def edge_weight(self, query: str, url: str) -> int:
+        """Click weight of the (query, url) edge (0 if absent)."""
+        return self._query_edges.get(query, {}).get(url, 0)
+
+    def iter_edges(self) -> Iterator[tuple[str, str, int]]:
+        """Yield every (query, url, clicks) edge."""
+        for query, urls in self._query_edges.items():
+            for url, clicks in urls.items():
+                yield query, url, clicks
+
+    # ------------------------------------------------------------------ #
+    # Transition probabilities (for random walks)
+    # ------------------------------------------------------------------ #
+
+    def transition_from_query(self, query: str) -> dict[str, float]:
+        """Click-weighted transition distribution query → URLs."""
+        urls = self._query_edges.get(query)
+        if not urls:
+            return {}
+        total = sum(urls.values())
+        return {url: clicks / total for url, clicks in urls.items()}
+
+    def transition_from_url(self, url: str) -> dict[str, float]:
+        """Click-weighted transition distribution URL → queries."""
+        queries = self._url_edges.get(url)
+        if not queries:
+            return {}
+        total = sum(queries.values())
+        return {query: clicks / total for query, clicks in queries.items()}
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> GraphStats:
+        """Return summary statistics of the graph."""
+        edge_count = sum(len(urls) for urls in self._query_edges.values())
+        total_clicks = sum(
+            clicks for urls in self._query_edges.values() for clicks in urls.values()
+        )
+        return GraphStats(
+            query_count=len(self._query_edges),
+            url_count=len(self._url_edges),
+            edge_count=edge_count,
+            total_clicks=total_clicks,
+        )

@@ -1,0 +1,163 @@
+"""Aggregated search and click logs with the lookups the miner needs.
+
+``ClickLog`` answers the three questions candidate generation and selection
+ask, all in O(1) dictionary lookups after aggregation:
+
+* ``urls_clicked_for(query)``        →  G_L(q, P)
+* ``queries_clicking(url)``          →  the reverse edge (candidate discovery)
+* ``clicks(query, url)`` / ``total_clicks(query)``  →  numerator / denominator of ICR
+
+``SearchLog`` is the analogous container for Search Data ``A`` and answers
+``top_urls(query, k)`` → G_A(q, P).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping
+
+from repro.clicklog.records import ClickRecord, ImpressionRecord, SearchRecord
+
+__all__ = ["ClickLog", "SearchLog"]
+
+
+class SearchLog:
+    """Search Data ``A``: per-query ranked URL lists."""
+
+    def __init__(self, records: Iterable[SearchRecord] = ()) -> None:
+        self._results: dict[str, list[tuple[int, str]]] = defaultdict(list)
+        for record in records:
+            self.add(record)
+
+    def add(self, record: SearchRecord) -> None:
+        """Add one ⟨q, p, r⟩ tuple."""
+        self._results[record.query].append((record.rank, record.url))
+
+    @classmethod
+    def from_tuples(cls, tuples: Iterable[tuple[str, str, int]]) -> "SearchLog":
+        """Build from raw (query, url, rank) tuples."""
+        return cls(SearchRecord(query, url, rank) for query, url, rank in tuples)
+
+    def top_urls(self, query: str, *, k: int | None = None) -> list[str]:
+        """URLs for *query* in rank order, optionally truncated to rank ≤ k.
+
+        This is exactly G_A(query, P) from Eq. 1 of the paper.
+        """
+        ranked = sorted(self._results.get(query, ()))
+        if k is not None:
+            ranked = [(rank, url) for rank, url in ranked if rank <= k]
+        return [url for _rank, url in ranked]
+
+    def queries(self) -> list[str]:
+        """All query strings present in the search data."""
+        return list(self._results)
+
+    def __contains__(self, query: str) -> bool:
+        return query in self._results
+
+    def __len__(self) -> int:
+        return sum(len(urls) for urls in self._results.values())
+
+    def iter_records(self) -> Iterator[SearchRecord]:
+        """Yield every stored record (query order, then rank order)."""
+        for query, ranked in self._results.items():
+            for rank, url in sorted(ranked):
+                yield SearchRecord(query, url, rank)
+
+
+class ClickLog:
+    """Click Data ``L``: aggregated (query, url) → click-count map."""
+
+    def __init__(self, records: Iterable[ClickRecord] = ()) -> None:
+        self._clicks: dict[str, dict[str, int]] = defaultdict(dict)
+        self._url_to_queries: dict[str, set[str]] = defaultdict(set)
+        self._query_totals: dict[str, int] = defaultdict(int)
+        for record in records:
+            self.add(record)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add(self, record: ClickRecord) -> None:
+        """Add one ⟨q, p, n⟩ tuple, accumulating clicks for repeated pairs."""
+        per_query = self._clicks[record.query]
+        per_query[record.url] = per_query.get(record.url, 0) + record.clicks
+        self._url_to_queries[record.url].add(record.query)
+        self._query_totals[record.query] += record.clicks
+
+    @classmethod
+    def from_tuples(cls, tuples: Iterable[tuple[str, str, int]]) -> "ClickLog":
+        """Build from raw (query, url, clicks) tuples."""
+        return cls(ClickRecord(query, url, clicks) for query, url, clicks in tuples)
+
+    @classmethod
+    def from_impressions(cls, impressions: Iterable[ImpressionRecord]) -> "ClickLog":
+        """Aggregate raw per-session impressions into click counts.
+
+        Only clicked impressions contribute; the paper's Click Data has no
+        record for shown-but-not-clicked results.
+        """
+        log = cls()
+        for impression in impressions:
+            if impression.clicked:
+                log.add(ClickRecord(impression.query, impression.url, 1))
+        return log
+
+    # ------------------------------------------------------------------ #
+    # Lookups used by the miner
+    # ------------------------------------------------------------------ #
+
+    def urls_clicked_for(self, query: str) -> set[str]:
+        """G_L(query, P): URLs with ≥ 1 click for *query* (Eq. 2)."""
+        return set(self._clicks.get(query, ()))
+
+    def queries_clicking(self, url: str) -> set[str]:
+        """All queries with ≥ 1 click on *url* (the reverse click-graph edge)."""
+        return set(self._url_to_queries.get(url, ()))
+
+    def clicks(self, query: str, url: str) -> int:
+        """Click count n for the pair (query, url); 0 when the pair is absent."""
+        return self._clicks.get(query, {}).get(url, 0)
+
+    def total_clicks(self, query: str) -> int:
+        """Total clicks issued from *query* over all URLs (ICR denominator)."""
+        return self._query_totals.get(query, 0)
+
+    def clicks_by_url(self, query: str) -> Mapping[str, int]:
+        """The {url: clicks} map of *query* (read-only view semantics)."""
+        return dict(self._clicks.get(query, {}))
+
+    # ------------------------------------------------------------------ #
+    # Whole-log iteration and statistics
+    # ------------------------------------------------------------------ #
+
+    def queries(self) -> list[str]:
+        """All distinct query strings with at least one click."""
+        return list(self._clicks)
+
+    def urls(self) -> list[str]:
+        """All distinct clicked URLs."""
+        return list(self._url_to_queries)
+
+    def query_frequency(self, query: str) -> int:
+        """Alias for :meth:`total_clicks`, named as the evaluation uses it
+        (the frequency weight of a query in weighted precision)."""
+        return self.total_clicks(query)
+
+    def __contains__(self, query: str) -> bool:
+        return query in self._clicks
+
+    def __len__(self) -> int:
+        """Number of distinct (query, url) pairs."""
+        return sum(len(urls) for urls in self._clicks.values())
+
+    def iter_records(self) -> Iterator[ClickRecord]:
+        """Yield every aggregated ⟨q, p, n⟩ record."""
+        for query, per_query in self._clicks.items():
+            for url, clicks in per_query.items():
+                yield ClickRecord(query, url, clicks)
+
+    def total_click_volume(self) -> int:
+        """Sum of all click counts in the log."""
+        return sum(self._query_totals.values())

@@ -1,0 +1,179 @@
+"""Relation classification of rejected candidates (paper Figure 1).
+
+The paper's Venn-diagram discussion (Figure 1) explains *why* IPC and ICR
+work: a candidate's click footprint relative to the surrogate set has a
+characteristic signature per semantic relation —
+
+* **synonym**   — large intersection, clicks concentrated inside it
+  (high IPC, high ICR);
+* **hypernym**  — the candidate reaches many pages beyond the surrogates,
+  so most clicks fall outside (decent IPC, low ICR), and its token set is
+  typically *contained in* the canonical string;
+* **hyponym / aspect** — the candidate is narrower, it cares about one or
+  two specific surrogate pages (low IPC, high ICR) and usually *contains*
+  the canonical tokens plus extra modifiers;
+* **related**   — small intersection and low click concentration.
+
+This module turns that discussion into an explicit classifier over scored
+candidates.  It is not required by the mining pipeline (which only needs
+the two thresholds), but it is what a production deployment reports to
+editors reviewing the dictionary, and it lets the evaluation break down the
+false positives of Figure 2 by relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.types import SynonymCandidate
+from repro.text.stopwords import remove_stopwords
+from repro.text.tokenize import tokenize
+
+__all__ = ["CandidateRelation", "RelationThresholds", "RelationClassifier", "ClassifiedCandidate"]
+
+
+class CandidateRelation(Enum):
+    """Predicted semantic relation of a candidate to the input value."""
+
+    SYNONYM = "synonym"
+    HYPERNYM = "hypernym"
+    HYPONYM = "hyponym"
+    RELATED = "related"
+
+
+@dataclass(frozen=True)
+class RelationThresholds:
+    """Decision boundaries of the rule-based classifier.
+
+    The defaults mirror the paper's operating point: a candidate is
+    synonym-like when it clears the Table-I thresholds (IPC ≥ 4, ICR ≥ 0.5
+    for a *confident* call), hypernym-like when its clicks leak outside the
+    surrogate set, and hyponym-like when its clicks are exclusive but touch
+    only a corner of it.
+    """
+
+    synonym_min_ipc: int = 4
+    synonym_min_icr: float = 0.5
+    hypernym_max_icr: float = 0.5
+    hyponym_max_ipc: int = 3
+    hyponym_min_icr: float = 0.5
+    related_max_icr: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("synonym_min_icr", "hypernym_max_icr", "hyponym_min_icr", "related_max_icr"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.synonym_min_ipc < 0 or self.hyponym_max_ipc < 0:
+            raise ValueError("IPC thresholds must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClassifiedCandidate:
+    """A scored candidate together with its predicted relation and rationale."""
+
+    candidate: SynonymCandidate
+    relation: CandidateRelation
+    rationale: str
+
+
+class RelationClassifier:
+    """Rule-based relation classifier over scored candidates.
+
+    The classifier combines the two click-footprint measures (IPC, ICR)
+    with a lexical signal: whether the candidate's content tokens are a
+    subset of the canonical string's (typical of hypernyms such as the
+    franchise name) or a superset (typical of hyponyms / aspect queries
+    such as "<title> dvd release").
+    """
+
+    def __init__(self, thresholds: RelationThresholds | None = None) -> None:
+        self.thresholds = thresholds or RelationThresholds()
+
+    # ------------------------------------------------------------------ #
+    # Lexical containment helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _content_tokens(text: str) -> frozenset[str]:
+        return frozenset(remove_stopwords(tokenize(text)))
+
+    def _lexical_relation(self, candidate_query: str, canonical: str) -> str:
+        candidate_tokens = self._content_tokens(candidate_query)
+        canonical_tokens = self._content_tokens(canonical)
+        if not candidate_tokens or not canonical_tokens:
+            return "disjoint"
+        if candidate_tokens < canonical_tokens:
+            return "subset"
+        if candidate_tokens > canonical_tokens:
+            return "superset"
+        if candidate_tokens == canonical_tokens:
+            return "equal"
+        if candidate_tokens & canonical_tokens:
+            return "overlap"
+        return "disjoint"
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+
+    def classify(self, candidate: SynonymCandidate, canonical: str) -> ClassifiedCandidate:
+        """Predict the relation of one scored candidate to *canonical*."""
+        thresholds = self.thresholds
+        lexical = self._lexical_relation(candidate.query, canonical)
+
+        if (
+            candidate.ipc >= thresholds.synonym_min_ipc
+            and candidate.icr >= thresholds.synonym_min_icr
+        ):
+            relation = CandidateRelation.SYNONYM
+            rationale = (
+                f"high strength and exclusiveness (IPC={candidate.ipc}, "
+                f"ICR={candidate.icr:.2f})"
+            )
+        elif candidate.icr < thresholds.hypernym_max_icr and lexical in ("subset", "overlap", "equal"):
+            relation = CandidateRelation.HYPERNYM
+            rationale = (
+                f"clicks leak outside the surrogate set (ICR={candidate.icr:.2f}) "
+                f"and the query is lexically broader ({lexical})"
+            )
+        elif (
+            candidate.ipc <= thresholds.hyponym_max_ipc
+            and candidate.icr >= thresholds.hyponym_min_icr
+        ):
+            relation = CandidateRelation.HYPONYM
+            rationale = (
+                f"clicks are exclusive (ICR={candidate.icr:.2f}) but touch only "
+                f"{candidate.ipc} surrogate page(s): a narrower / aspect query"
+            )
+        elif candidate.icr <= thresholds.related_max_icr:
+            relation = CandidateRelation.RELATED
+            rationale = f"weak, non-exclusive relationship (ICR={candidate.icr:.2f})"
+        else:
+            # Middle ground: decide on the lexical shape, defaulting to related.
+            if lexical == "superset":
+                relation = CandidateRelation.HYPONYM
+                rationale = "lexically narrower than the canonical string"
+            elif lexical == "subset":
+                relation = CandidateRelation.HYPERNYM
+                rationale = "lexically broader than the canonical string"
+            else:
+                relation = CandidateRelation.RELATED
+                rationale = "no strong click or lexical signal"
+        return ClassifiedCandidate(candidate=candidate, relation=relation, rationale=rationale)
+
+    def classify_all(
+        self, candidates: list[SynonymCandidate], canonical: str
+    ) -> list[ClassifiedCandidate]:
+        """Classify every candidate, preserving input order."""
+        return [self.classify(candidate, canonical) for candidate in candidates]
+
+    def histogram(
+        self, candidates: list[SynonymCandidate], canonical: str
+    ) -> dict[CandidateRelation, int]:
+        """Count predicted relations over a candidate list."""
+        counts: dict[CandidateRelation, int] = {}
+        for classified in self.classify_all(candidates, canonical):
+            counts[classified.relation] = counts.get(classified.relation, 0) + 1
+        return counts

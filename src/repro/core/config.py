@@ -1,0 +1,75 @@
+"""Configuration of the synonym miner.
+
+The paper exposes three free parameters:
+
+* ``k``  — the top-k cut-off used when building Search Data / the surrogate
+  set ``G_A(u, P)`` (Eq. 1);
+* ``β``  — the Intersecting Page Count threshold (Eq. 3);
+* ``γ``  — the Intersecting Click Ratio threshold (Eq. 4).
+
+The paper's recommended operating point for Table I is β = 4, γ = 0.1 with
+k = 10-ish surrogates, which are the defaults here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MinerConfig"]
+
+
+@dataclass(frozen=True)
+class MinerConfig:
+    """Thresholds and switches of the two-phase miner.
+
+    Attributes
+    ----------
+    surrogate_k:
+        How many top-ranked pages of the canonical query form the surrogate
+        set ``G_A(u, P)``.
+    ipc_threshold:
+        β — a candidate must have ``IPC >= β`` to be selected.
+    icr_threshold:
+        γ — a candidate must have ``ICR >= γ`` to be selected.
+    min_clicks:
+        Minimum total click volume a candidate query must have in the click
+        log before it is scored at all; filters one-off noise queries (the
+        paper implicitly relies on log aggregation doing this).
+    exclude_canonical:
+        When true (default) the canonical string itself is never reported
+        as its own synonym.
+    """
+
+    surrogate_k: int = 10
+    ipc_threshold: int = 4
+    icr_threshold: float = 0.1
+    min_clicks: int = 1
+    exclude_canonical: bool = True
+
+    def __post_init__(self) -> None:
+        if self.surrogate_k <= 0:
+            raise ValueError(f"surrogate_k must be positive, got {self.surrogate_k}")
+        if self.ipc_threshold < 0:
+            raise ValueError(f"ipc_threshold must be >= 0, got {self.ipc_threshold}")
+        if not 0.0 <= self.icr_threshold <= 1.0:
+            raise ValueError(
+                f"icr_threshold must be in [0, 1], got {self.icr_threshold}"
+            )
+        if self.min_clicks < 0:
+            raise ValueError(f"min_clicks must be >= 0, got {self.min_clicks}")
+
+    # Convenience constructors for the operating points used in the paper.
+
+    @classmethod
+    def paper_default(cls) -> "MinerConfig":
+        """The Table I operating point: IPC 4, ICR 0.1."""
+        return cls(ipc_threshold=4, icr_threshold=0.1)
+
+    def with_thresholds(self, *, ipc: int | None = None, icr: float | None = None) -> "MinerConfig":
+        """Return a copy with different β / γ (used by the sweeps)."""
+        updated = self
+        if ipc is not None:
+            updated = replace(updated, ipc_threshold=ipc)
+        if icr is not None:
+            updated = replace(updated, icr_threshold=icr)
+        return updated

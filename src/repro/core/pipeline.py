@@ -1,0 +1,170 @@
+"""The end-to-end two-phase synonym miner (paper Section III).
+
+:class:`SynonymMiner` wires the three pieces together:
+
+1. :class:`~repro.core.surrogates.SurrogateFinder` resolves each input
+   string ``u`` to its surrogate pages ``G_A(u, P)``;
+2. :class:`~repro.core.candidates.CandidateGenerator` collects every query
+   whose clicks touch a surrogate (candidate generation);
+3. :class:`~repro.core.selection.CandidateScorer` /
+   :class:`~repro.core.selection.CandidateSelector` compute IPC and ICR and
+   keep the candidates clearing the β / γ thresholds (candidate selection).
+
+The miner is deliberately *data-driven and offline*: its only inputs are
+Search Data, Click Data and the list of canonical strings — it never looks
+at the entity attributes or at any ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.clicklog.log import ClickLog, SearchLog
+from repro.core.candidates import CandidateGenerator
+from repro.core.config import MinerConfig
+from repro.core.selection import CandidateScorer, CandidateSelector
+from repro.core.surrogates import SurrogateFinder
+from repro.core.types import EntitySynonyms, MiningResult, SynonymCandidate
+from repro.search.engine import SearchEngine
+from repro.storage.sqlite_store import LogDatabase
+from repro.text.normalize import normalize
+
+__all__ = ["SynonymMiner"]
+
+
+class SynonymMiner:
+    """Mines Web synonyms for a set of canonical entity strings.
+
+    Parameters
+    ----------
+    search_log / engine:
+        At least one source of Search Data ``A`` (see
+        :class:`~repro.core.surrogates.SurrogateFinder`).
+    click_log:
+        Click Data ``L``.
+    config:
+        Thresholds; defaults to the paper's Table-I operating point.
+    """
+
+    def __init__(
+        self,
+        *,
+        click_log: ClickLog,
+        search_log: SearchLog | None = None,
+        engine: SearchEngine | None = None,
+        config: MinerConfig | None = None,
+    ) -> None:
+        self.config = config or MinerConfig()
+        self.surrogate_finder = SurrogateFinder(
+            search_log=search_log, engine=engine, k=self.config.surrogate_k
+        )
+        self.candidate_generator = CandidateGenerator(
+            click_log, min_clicks=self.config.min_clicks
+        )
+        self.scorer = CandidateScorer(click_log)
+        self.selector = CandidateSelector(
+            ipc_threshold=self.config.ipc_threshold,
+            icr_threshold=self.config.icr_threshold,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Mining
+    # ------------------------------------------------------------------ #
+
+    def mine_one(self, value: str) -> EntitySynonyms:
+        """Run both phases for a single input string ``u``."""
+        canonical = normalize(value)
+        surrogates = self.surrogate_finder.surrogates(canonical)
+        surrogate_set = set(surrogates)
+        candidates = self.candidate_generator.candidates_for(canonical, surrogate_set)
+        if self.config.exclude_canonical:
+            candidates.discard(canonical)
+        scored = self.scorer.score_all(candidates, surrogate_set)
+        selected = self.selector.select(scored)
+        return EntitySynonyms(
+            canonical=canonical,
+            surrogates=surrogates,
+            candidates=scored,
+            selected=selected,
+        )
+
+    def mine(self, values: Iterable[str]) -> MiningResult:
+        """Run the miner over a whole input set U."""
+        result = MiningResult()
+        for value in values:
+            result.add(self.mine_one(value))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Re-thresholding without re-scoring
+    # ------------------------------------------------------------------ #
+
+    def reselect(
+        self, result: MiningResult, *, ipc_threshold: int, icr_threshold: float
+    ) -> MiningResult:
+        """Re-apply different β / γ to an existing scored result.
+
+        Scoring every candidate is the expensive part; the parameter sweeps
+        of Figures 2 and 3 only change thresholds, so they reuse the scored
+        candidates and re-filter.  The input result is not modified.
+        """
+        selector = CandidateSelector(
+            ipc_threshold=ipc_threshold, icr_threshold=icr_threshold
+        )
+        reselected = MiningResult()
+        for entry in result:
+            reselected.add(
+                EntitySynonyms(
+                    canonical=entry.canonical,
+                    surrogates=entry.surrogates,
+                    candidates=list(entry.candidates),
+                    selected=selector.select(entry.candidates),
+                )
+            )
+        return reselected
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def store(self, result: MiningResult, database: LogDatabase) -> int:
+        """Persist the selected synonyms of *result* into *database*.
+
+        Returns the number of rows written to the ``synonyms`` table.
+        """
+        rows: list[tuple[str, str, int, float, int]] = []
+        for entry in result:
+            for candidate in entry.selected:
+                rows.append(
+                    (entry.canonical, candidate.query, candidate.ipc, candidate.icr, candidate.clicks)
+                )
+        return database.add_synonym_records(rows)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_database(
+        cls, database: LogDatabase, *, config: MinerConfig | None = None
+    ) -> "SynonymMiner":
+        """Build a miner from logs previously loaded into a
+        :class:`~repro.storage.sqlite_store.LogDatabase`."""
+        search_log = SearchLog.from_tuples(database.iter_search_log())
+        click_log = ClickLog.from_tuples(database.iter_click_log())
+        return cls(click_log=click_log, search_log=search_log, config=config)
+
+
+def mine_synonyms(
+    values: Sequence[str],
+    *,
+    click_log: ClickLog,
+    search_log: SearchLog | None = None,
+    engine: SearchEngine | None = None,
+    config: MinerConfig | None = None,
+) -> MiningResult:
+    """Functional one-call façade over :class:`SynonymMiner`."""
+    miner = SynonymMiner(
+        click_log=click_log, search_log=search_log, engine=engine, config=config
+    )
+    return miner.mine(values)

@@ -1,0 +1,117 @@
+"""ASCII rendering of the paper's precision-vs-coverage figures.
+
+The paper presents Figures 2 and 3 as scatter/line plots with coverage
+increase on the x axis and precision on the y axis.  The tables produced by
+:mod:`repro.eval.reporting` carry the same information, but a quick visual
+check of the curve shapes is useful in a terminal-only environment, so this
+module renders the sweep results as fixed-width character plots.
+
+The plots are intentionally coarse (a character grid), deterministic, and
+free of any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.experiments import ICRSweepResult, IPCSweepResult
+
+__all__ = ["AsciiPlotConfig", "scatter_plot", "plot_ipc_sweep", "plot_icr_sweep"]
+
+
+@dataclass(frozen=True)
+class AsciiPlotConfig:
+    """Size and axis configuration of the character plots."""
+
+    width: int = 60
+    height: int = 18
+    y_min: float = 0.0
+    y_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width < 10 or self.height < 5:
+            raise ValueError("plot must be at least 10x5 characters")
+        if self.y_max <= self.y_min:
+            raise ValueError("y_max must exceed y_min")
+
+
+def scatter_plot(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    config: AsciiPlotConfig | None = None,
+    x_label: str = "coverage increase",
+    y_label: str = "precision",
+) -> str:
+    """Render named (x, y) series as one character plot.
+
+    Each series gets a distinct marker (its label's first character); the
+    legend maps markers back to labels.  Points outside the y range are
+    clamped; the x range adapts to the data.
+    """
+    config = config or AsciiPlotConfig()
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return "(no data to plot)"
+    x_values = [x for x, _y in points]
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * config.width for _ in range(config.height)]
+    markers: dict[str, str] = {}
+    for label, values in series.items():
+        marker = label[0].upper() if label else "*"
+        while marker in markers.values():
+            marker = chr(ord(marker) + 1)
+        markers[label] = marker
+        for x, y in values:
+            clamped_y = min(max(y, config.y_min), config.y_max)
+            column = round((x - x_min) / (x_max - x_min) * (config.width - 1))
+            row = round(
+                (config.y_max - clamped_y)
+                / (config.y_max - config.y_min)
+                * (config.height - 1)
+            )
+            grid[row][column] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_value = config.y_max - row_index / (config.height - 1) * (config.y_max - config.y_min)
+        axis = f"{y_value * 100:5.0f}% |"
+        lines.append(axis + "".join(row))
+    lines.append(" " * 7 + "-" * config.width)
+    lines.append(
+        " " * 7
+        + f"{x_min * 100:.0f}%".ljust(config.width - 8)
+        + f"{x_max * 100:.0f}%"
+    )
+    lines.append(f"        x: {x_label}, y: {y_label}")
+    legend = ", ".join(f"{marker} = {label}" for label, marker in markers.items())
+    lines.append(f"        {legend}")
+    return "\n".join(lines)
+
+
+def plot_ipc_sweep(result: IPCSweepResult, *, config: AsciiPlotConfig | None = None) -> str:
+    """Figure 2 as an ASCII plot (precision and weighted precision curves)."""
+    series = {
+        "syns": [(point.coverage_increase, point.precision) for point in result.points],
+        "weighted": [
+            (point.coverage_increase, point.weighted_precision) for point in result.points
+        ],
+    }
+    title = f"Figure 2 (ASCII) — IPC sweep on {result.dataset!r}"
+    return title + "\n" + scatter_plot(series, config=config)
+
+
+def plot_icr_sweep(result: ICRSweepResult, *, config: AsciiPlotConfig | None = None) -> str:
+    """Figure 3 as an ASCII plot (one weighted-precision curve per IPC)."""
+    series = {
+        f"ipc{ipc}": [
+            (point.coverage_increase, point.weighted_precision) for point in curve
+        ]
+        for ipc, curve in sorted(result.curves.items())
+    }
+    title = f"Figure 3 (ASCII) — ICR sweep on {result.dataset!r}"
+    return title + "\n" + scatter_plot(
+        series, config=config, y_label="weighted precision"
+    )

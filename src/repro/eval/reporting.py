@@ -1,0 +1,105 @@
+"""Plain-text rendering of experiment results.
+
+The renderers print the same rows and series the paper reports, in the same
+layout, so EXPERIMENTS.md can show paper-vs-measured side by side and the
+benchmark harness can dump human-readable output next to the timing data.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import (
+    AblationPoint,
+    ICRSweepResult,
+    IPCSweepResult,
+    Table1Result,
+)
+from repro.eval.metrics import MethodSummary
+
+__all__ = [
+    "render_ipc_sweep",
+    "render_icr_sweep",
+    "render_table1",
+    "render_method_summary",
+    "render_ablation",
+]
+
+
+def _percent(value: float) -> str:
+    return f"{value * 100.0:.1f}%"
+
+
+def render_ipc_sweep(result: IPCSweepResult) -> str:
+    """Figure 2 as a text table (one row per IPC threshold)."""
+    lines = [
+        f"Figure 2 — IPC sweep on dataset {result.dataset!r} (ICR disabled)",
+        f"{'IPC':>4}  {'Precision':>10}  {'W.Precision':>12}  {'CoverageInc':>12}  {'Synonyms':>9}  {'Hits':>5}",
+    ]
+    for point in result.points:
+        lines.append(
+            f"{point.ipc_threshold:>4}  {_percent(point.precision):>10}  "
+            f"{_percent(point.weighted_precision):>12}  "
+            f"{_percent(point.coverage_increase):>12}  "
+            f"{point.synonym_count:>9}  {point.hit_count:>5}"
+        )
+    return "\n".join(lines)
+
+
+def render_icr_sweep(result: ICRSweepResult) -> str:
+    """Figure 3 as text: one block per IPC value, one row per ICR threshold."""
+    lines = [f"Figure 3 — ICR sweep on dataset {result.dataset!r}"]
+    for ipc_threshold, curve in sorted(result.curves.items()):
+        lines.append(f"  IPC {ipc_threshold}:")
+        lines.append(
+            f"  {'ICR':>5}  {'W.Precision':>12}  {'CoverageInc':>12}  {'Synonyms':>9}"
+        )
+        for point in curve:
+            lines.append(
+                f"  {point.icr_threshold:>5.2f}  "
+                f"{_percent(point.weighted_precision):>12}  "
+                f"{_percent(point.coverage_increase):>12}  "
+                f"{point.synonym_count:>9}"
+            )
+    return "\n".join(lines)
+
+
+def render_table1(result: Table1Result) -> str:
+    """Table I in the paper's column layout (plus a precision column)."""
+    lines = [
+        "Table I — Hits and Expansion",
+        f"{'Dataset':<10} {'Method':<10} {'Orig':>6} {'Hits':>6} {'Ratio':>7} "
+        f"{'Synonyms':>9} {'Expansion':>10} {'Precision':>10}",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.dataset:<10} {row.method:<10} {row.originals:>6} {row.hits:>6} "
+            f"{_percent(row.hit_ratio):>7} {row.synonyms:>9} "
+            f"{_percent(row.expansion_ratio):>10} {_percent(row.precision):>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_method_summary(summary: MethodSummary) -> str:
+    """One-method summary line used by examples."""
+    return (
+        f"{summary.method} on {summary.dataset}: "
+        f"{summary.hits}/{summary.originals} hits ({_percent(summary.hit_ratio)}), "
+        f"{summary.synonyms} synonyms "
+        f"(expansion {_percent(summary.expansion_ratio)}), "
+        f"precision {_percent(summary.precision)}, "
+        f"weighted {_percent(summary.weighted_precision)}"
+    )
+
+
+def render_ablation(title: str, points: list[AblationPoint]) -> str:
+    """Ablation table: one row per configuration."""
+    lines = [
+        title,
+        f"{'Config':<12} {'Precision':>10} {'W.Precision':>12} {'CoverageInc':>12} {'Synonyms':>9}",
+    ]
+    for point in points:
+        lines.append(
+            f"{point.label:<12} {_percent(point.precision):>10} "
+            f"{_percent(point.weighted_precision):>12} "
+            f"{_percent(point.coverage_increase):>12} {point.synonym_count:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Online fuzzy matching of Web queries to structured data.
+
+This is the motivating application of the paper's introduction: a query
+such as ``"indy 4 near san fran"`` should resolve the substring ``"indy 4"``
+to the movie entity "Indiana Jones and the Kingdom of the Crystal Skull"
+so a structured source (showtimes) can answer it.
+
+The package consumes the offline miner's output:
+
+* :class:`~repro.matching.dictionary.SynonymDictionary` — the expanded
+  string → entity lookup table;
+* :class:`~repro.matching.segmentation.QuerySegmenter` — finds which
+  contiguous span of a live query matches a dictionary entry;
+* :class:`~repro.matching.matcher.QueryMatcher` — the end-to-end matcher
+  with an optional fuzzy (edit-distance) fallback for unseen misspellings.
+"""
+
+from repro.matching.dictionary import SynonymDictionary, DictionaryEntry
+from repro.matching.segmentation import QuerySegmenter, Segment
+from repro.matching.matcher import QueryMatcher, EntityMatch, MatchOutcome
+from repro.matching.resolver import MatchResolver, RankedEntity
+
+__all__ = [
+    "SynonymDictionary",
+    "DictionaryEntry",
+    "QuerySegmenter",
+    "Segment",
+    "QueryMatcher",
+    "EntityMatch",
+    "MatchOutcome",
+    "MatchResolver",
+    "RankedEntity",
+]

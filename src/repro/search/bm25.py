@@ -1,0 +1,80 @@
+"""Okapi BM25 ranking over the inverted index.
+
+BM25 is the standard bag-of-words ranking function; the reproduction uses
+it as the stand-in for Bing's (proprietary) ranker when generating Search
+Data ``A``.  What the synonym miner needs from the ranker is only that
+pages *about* an entity outrank background pages for the entity's canonical
+name, which BM25 delivers comfortably on the entity-centric corpus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.search.index import InvertedIndex
+from repro.text.stopwords import STOPWORDS
+
+__all__ = ["BM25Parameters", "BM25Scorer"]
+
+
+@dataclass(frozen=True)
+class BM25Parameters:
+    """Free parameters of BM25.
+
+    ``k1`` controls term-frequency saturation, ``b`` the strength of
+    document-length normalisation, and ``stopword_weight`` scales the
+    contribution of stopword terms (1.0 = treat them like any other term,
+    0.0 = ignore them entirely).
+    """
+
+    k1: float = 1.2
+    b: float = 0.75
+    stopword_weight: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0:
+            raise ValueError(f"k1 must be non-negative, got {self.k1}")
+        if not 0.0 <= self.b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {self.b}")
+        if not 0.0 <= self.stopword_weight <= 1.0:
+            raise ValueError(
+                f"stopword_weight must be in [0, 1], got {self.stopword_weight}"
+            )
+
+
+class BM25Scorer:
+    """Scores documents of an :class:`InvertedIndex` against token queries."""
+
+    def __init__(self, index: InvertedIndex, parameters: BM25Parameters | None = None) -> None:
+        self.index = index
+        self.parameters = parameters or BM25Parameters()
+
+    def idf(self, term: str) -> float:
+        """Robertson–Sparck-Jones idf with the +1 floor (never negative)."""
+        doc_count = self.index.document_count
+        doc_frequency = self.index.document_frequency(term)
+        return math.log(1.0 + (doc_count - doc_frequency + 0.5) / (doc_frequency + 0.5))
+
+    def score_all(self, query_tokens: list[str]) -> dict[int, float]:
+        """Return {doc_id: score} for every document matching ≥ 1 query term."""
+        params = self.parameters
+        avg_length = self.index.average_document_length or 1.0
+        scores: dict[int, float] = {}
+        for term in query_tokens:
+            postings = self.index.postings(term)
+            if not postings:
+                continue
+            weight = params.stopword_weight if term in STOPWORDS else 1.0
+            if weight == 0.0:
+                continue
+            term_idf = self.idf(term)
+            for posting in postings:
+                doc_length = self.index.document_length(posting.doc_id)
+                tf = posting.term_frequency
+                denominator = tf + params.k1 * (
+                    1.0 - params.b + params.b * doc_length / avg_length
+                )
+                contribution = term_idf * tf * (params.k1 + 1.0) / denominator
+                scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + weight * contribution
+        return scores

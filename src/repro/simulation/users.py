@@ -1,0 +1,433 @@
+"""Simulated searcher population and click model.
+
+This module is the stand-in for the five months of Bing user behaviour the
+paper mines.  It has two parts:
+
+* :class:`QueryPopulation` — the distribution of query strings users issue,
+  derived from the ground-truth alias table: true synonyms dominate, but
+  users also type canonical names (rarely), hypernyms (franchise / brand
+  names), aspect queries ("<alias> trailer", "<alias> price"), related
+  queries and outright noise.  Each query carries a distribution over the
+  entity (if any) the user actually has in mind.
+
+* :class:`ClickSimulator` — given a search engine and the population,
+  simulates sessions: the user issues a query, examines the top-k results
+  with position bias, and clicks results that look relevant to the intent.
+  Clicks are aggregated into Click Data ``L``.
+
+The structural properties the miner depends on all emerge from this model
+rather than being wired in directly: synonym queries concentrate clicks on
+the intended entity's pages (high IPC, high ICR), hypernym queries spread
+clicks over many entities (low ICR), aspect queries concentrate on one or
+two pages (low IPC), and noise queries land outside the surrogate sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+import zlib
+
+import numpy as np
+
+from repro.clicklog.log import ClickLog
+from repro.clicklog.records import ClickRecord, ImpressionRecord
+from repro.search.documents import WebPage
+from repro.search.engine import SearchEngine, SearchResult
+from repro.simulation.aliases import AliasKind, AliasTable
+from repro.simulation.catalog import EntityCatalog
+from repro.text.normalize import normalize
+
+__all__ = ["UserModelConfig", "QuerySpec", "QueryPopulation", "ClickSimulator"]
+
+_MOVIE_ASPECTS = ["trailer", "review", "cast", "showtimes", "soundtrack"]
+_CAMERA_ASPECTS = ["price", "review", "manual", "sample photos", "vs"]
+
+_NOISE_QUERIES = [
+    "weather forecast", "cheap flights", "news headlines", "pizza near me",
+    "currency converter", "traffic update", "email login", "translate english",
+]
+
+
+@dataclass(frozen=True)
+class UserModelConfig:
+    """Behavioural parameters of the simulated searcher population.
+
+    The defaults were chosen so that the qualitative shapes of the paper's
+    figures emerge (see EXPERIMENTS.md); they are not fitted to any
+    proprietary data.
+    """
+
+    session_count: int = 60_000
+    results_per_query: int = 10
+    # Probability of examining a result at positions 1..results_per_query.
+    position_bias_decay: float = 0.72
+    # Click probability given examination, by relation of the page to the
+    # user's intent.
+    click_prob_intended: float = 0.78
+    click_prob_same_group: float = 0.22
+    click_prob_unrelated_entity: float = 0.03
+    click_prob_generic_page: float = 0.08
+    # Relative weight of query kinds in the population.
+    canonical_weight: float = 30.0
+    synonym_weight: float = 6.0
+    hypernym_weight: float = 2.5
+    hyponym_weight: float = 1.0
+    related_weight: float = 0.8
+    ambiguous_weight: float = 1.0
+    aspect_weight: float = 1.8
+    noise_weight: float = 12.0
+    seed: int = 97
+
+    def __post_init__(self) -> None:
+        if self.session_count <= 0:
+            raise ValueError("session_count must be positive")
+        if self.results_per_query <= 0:
+            raise ValueError("results_per_query must be positive")
+        if not 0.0 < self.position_bias_decay <= 1.0:
+            raise ValueError("position_bias_decay must be in (0, 1]")
+        for name in (
+            "click_prob_intended", "click_prob_same_group",
+            "click_prob_unrelated_entity", "click_prob_generic_page",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    def position_bias(self) -> list[float]:
+        """Examination probability for each result position (1-based order)."""
+        return [self.position_bias_decay ** position for position in range(self.results_per_query)]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One query string in the population.
+
+    ``intents`` maps entity ids to the relative probability that a user
+    typing this query has that entity in mind; an empty tuple means the
+    query is navigational noise with no catalog intent.
+    """
+
+    query: str
+    kind: str
+    weight: float
+    intents: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+class QueryPopulation:
+    """The weighted set of queries the simulated users draw from."""
+
+    def __init__(self, specs: Iterable[QuerySpec]) -> None:
+        merged: dict[tuple[str, str], QuerySpec] = {}
+        for spec in specs:
+            key = (spec.query, spec.kind)
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = spec
+            else:
+                merged[key] = QuerySpec(
+                    query=spec.query,
+                    kind=spec.kind,
+                    weight=existing.weight + spec.weight,
+                    intents=existing.intents + spec.intents,
+                )
+        self._specs = list(merged.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[QuerySpec]:
+        return iter(self._specs)
+
+    @property
+    def specs(self) -> list[QuerySpec]:
+        return list(self._specs)
+
+    def total_weight(self) -> float:
+        return sum(spec.weight for spec in self._specs)
+
+    def queries_of_kind(self, kind: str) -> list[str]:
+        """All distinct query strings of one kind."""
+        return [spec.query for spec in self._specs if spec.kind == kind]
+
+    # ------------------------------------------------------------------ #
+    # Construction from the ground truth
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_alias_table(
+        cls,
+        catalog: EntityCatalog,
+        alias_table: AliasTable,
+        config: UserModelConfig | None = None,
+    ) -> "QueryPopulation":
+        """Build the population the paper's users would generate."""
+        config = config or UserModelConfig()
+        kind_weight = {
+            AliasKind.SYNONYM: config.synonym_weight,
+            AliasKind.HYPERNYM: config.hypernym_weight,
+            AliasKind.HYPONYM: config.hyponym_weight,
+            AliasKind.RELATED: config.related_weight,
+            AliasKind.AMBIGUOUS: config.ambiguous_weight,
+        }
+        aspects = _MOVIE_ASPECTS if catalog.domain == "movie" else _CAMERA_ASPECTS
+        specs: list[QuerySpec] = []
+
+        for entity in catalog:
+            popularity = entity.popularity
+            specs.append(
+                QuerySpec(
+                    query=entity.normalized_name,
+                    kind="canonical",
+                    weight=config.canonical_weight * popularity,
+                    intents=((entity.entity_id, 1.0),),
+                )
+            )
+            records = alias_table.records_for(entity.entity_id)
+            for record in records:
+                weight = kind_weight[record.kind] * record.weight * popularity
+                specs.append(
+                    QuerySpec(
+                        query=record.alias,
+                        kind=record.kind.value,
+                        weight=weight,
+                        intents=((entity.entity_id, popularity),),
+                    )
+                )
+            # Aspect queries composed from the strongest synonym alias.
+            synonyms = sorted(
+                (r for r in records if r.kind is AliasKind.SYNONYM),
+                key=lambda r: -r.weight,
+            )
+            if synonyms:
+                best_alias = synonyms[0].alias
+                for aspect_index, aspect in enumerate(aspects):
+                    specs.append(
+                        QuerySpec(
+                            query=normalize(f"{best_alias} {aspect}"),
+                            kind="aspect",
+                            weight=config.aspect_weight
+                            * popularity
+                            / (aspect_index + 1.0),
+                            intents=((entity.entity_id, 1.0),),
+                        )
+                    )
+
+        for noise_query in _NOISE_QUERIES:
+            specs.append(
+                QuerySpec(
+                    query=noise_query,
+                    kind="noise",
+                    weight=config.noise_weight,
+                    intents=(),
+                )
+            )
+        return cls(specs)
+
+
+class ClickSimulator:
+    """Simulates the searcher population against a search engine."""
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        catalog: EntityCatalog,
+        config: UserModelConfig | None = None,
+    ) -> None:
+        self.engine = engine
+        self.catalog = catalog
+        self.config = config or UserModelConfig()
+        self._result_cache: dict[str, list[SearchResult]] = {}
+        self._group_cache: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Relevance model
+    # ------------------------------------------------------------------ #
+
+    def _group_of(self, entity_id: str) -> str:
+        """Franchise (movies) or brand+line (cameras) group of an entity."""
+        cached = self._group_cache.get(entity_id)
+        if cached is not None:
+            return cached
+        entity = self.catalog.get(entity_id)
+        if entity is None:
+            group = ""
+        elif entity.domain == "movie":
+            group = entity.attributes.get("franchise", "") or entity.entity_id
+        else:
+            group = (
+                f"{entity.attributes.get('brand', '')} {entity.attributes.get('line', '')}".strip()
+                or entity.entity_id
+            )
+        self._group_cache[entity_id] = group
+        return group
+
+    def _click_probability(self, page: WebPage, intent: str | None, kind: str) -> float:
+        """Probability of clicking *page* given examination, intent and query kind."""
+        config = self.config
+        if intent is None:
+            # Navigational noise: only generic pages look relevant.
+            return config.click_prob_generic_page if page.entity_id is None else config.click_prob_unrelated_entity
+        if page.entity_id is None:
+            return config.click_prob_generic_page
+        if page.entity_id == intent:
+            return config.click_prob_intended
+        if self._group_of(page.entity_id) == self._group_of(intent):
+            return config.click_prob_same_group
+        return config.click_prob_unrelated_entity
+
+    def _click_probability_vector(
+        self,
+        results: Sequence[SearchResult],
+        intent: str | None,
+        kind: str,
+        query: str,
+    ) -> list[float]:
+        """Per-result click probability (position bias × relevance).
+
+        Aspect queries ("<alias> trailer") and hyponym queries ("<title>
+        dvd release") are *focused*: the user is after one specific page of
+        the entity, so only one of the entity's pages (chosen
+        deterministically per query string) attracts the full click
+        probability and the rest look like near-misses.  This is what keeps
+        their Intersecting Page Count low, the property Figure 2's IPC
+        threshold exploits.
+        """
+        position_bias = self.config.position_bias()
+        focused = kind in ("aspect", "hyponym") and intent is not None
+        preferred_index: int | None = None
+        if focused:
+            intent_positions = [
+                index
+                for index, result in enumerate(results)
+                if self.engine.corpus[result.url].entity_id == intent
+            ]
+            if intent_positions:
+                digest = zlib.crc32(query.encode("utf-8"))
+                preferred_index = intent_positions[digest % len(intent_positions)]
+
+        probabilities: list[float] = []
+        for index, result in enumerate(results):
+            page = self.engine.corpus[result.url]
+            if focused and page.entity_id == intent:
+                relevance = (
+                    self.config.click_prob_intended
+                    if index == preferred_index
+                    else self.config.click_prob_unrelated_entity
+                )
+            else:
+                relevance = self._click_probability(page, intent, kind)
+            probabilities.append(position_bias[result.rank - 1] * relevance)
+        return probabilities
+
+    def _results_for(self, query: str) -> list[SearchResult]:
+        cached = self._result_cache.get(query)
+        if cached is None:
+            cached = self.engine.search(query, k=self.config.results_per_query)
+            self._result_cache[query] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Batch simulation (fast path used by experiments)
+    # ------------------------------------------------------------------ #
+
+    def simulate_click_log(self, population: QueryPopulation) -> ClickLog:
+        """Simulate ``config.session_count`` sessions and aggregate clicks.
+
+        Session counts per query are drawn from a multinomial over the
+        population weights; clicks per (query, intent, result) are drawn
+        binomially from the position-bias × relevance probability.  The
+        result is Click Data ``L``.
+        """
+        rng = np.random.default_rng(self.config.seed)
+        specs = population.specs
+        if not specs:
+            return ClickLog()
+        weights = np.array([spec.weight for spec in specs], dtype=float)
+        probabilities = weights / weights.sum()
+        sessions_per_spec = rng.multinomial(self.config.session_count, probabilities)
+
+        click_log = ClickLog()
+        for spec, sessions in zip(specs, sessions_per_spec):
+            if sessions == 0:
+                continue
+            results = self._results_for(spec.query)
+            if not results:
+                continue
+            intent_ids, intent_counts = self._split_sessions_by_intent(spec, int(sessions), rng)
+            for intent, count in zip(intent_ids, intent_counts):
+                if count == 0:
+                    continue
+                probs = np.array(
+                    self._click_probability_vector(results, intent, spec.kind, spec.query)
+                )
+                clicks = rng.binomial(int(count), probs)
+                for result, click_count in zip(results, clicks):
+                    if click_count > 0:
+                        click_log.add(ClickRecord(spec.query, result.url, int(click_count)))
+        return click_log
+
+    def _split_sessions_by_intent(
+        self, spec: QuerySpec, sessions: int, rng: np.random.Generator
+    ) -> tuple[list[str | None], np.ndarray]:
+        """Distribute a spec's sessions over its intent distribution."""
+        if not spec.intents:
+            return [None], np.array([sessions])
+        intent_ids = [entity_id for entity_id, _weight in spec.intents]
+        intent_weights = np.array([weight for _entity_id, weight in spec.intents], dtype=float)
+        intent_probs = intent_weights / intent_weights.sum()
+        counts = rng.multinomial(sessions, intent_probs)
+        return intent_ids, counts
+
+    # ------------------------------------------------------------------ #
+    # Session-level simulation (slow path, used by tests and examples)
+    # ------------------------------------------------------------------ #
+
+    def simulate_sessions(
+        self, population: QueryPopulation, *, sessions: int
+    ) -> list[ImpressionRecord]:
+        """Simulate individual sessions and return raw impressions.
+
+        This exercises the exact same relevance model as the batch path but
+        produces per-event records, which is what a real search log looks
+        like before aggregation.
+        """
+        rng = np.random.default_rng(self.config.seed + 1)
+        specs = population.specs
+        if not specs or sessions <= 0:
+            return []
+        weights = np.array([spec.weight for spec in specs], dtype=float)
+        probabilities = weights / weights.sum()
+        impressions: list[ImpressionRecord] = []
+        spec_choices = rng.choice(len(specs), size=sessions, p=probabilities)
+        for session_id, spec_index in enumerate(spec_choices):
+            spec = specs[int(spec_index)]
+            results = self._results_for(spec.query)
+            if not results:
+                continue
+            intent = self._sample_intent(spec, rng)
+            probabilities = self._click_probability_vector(results, intent, spec.kind, spec.query)
+            for result, probability in zip(results, probabilities):
+                clicked = bool(rng.random() < probability)
+                impressions.append(
+                    ImpressionRecord(
+                        session_id=session_id,
+                        query=spec.query,
+                        url=result.url,
+                        position=result.rank,
+                        clicked=clicked,
+                    )
+                )
+        return impressions
+
+    def _sample_intent(self, spec: QuerySpec, rng: np.random.Generator) -> str | None:
+        if not spec.intents:
+            return None
+        intent_weights = np.array([weight for _eid, weight in spec.intents], dtype=float)
+        intent_probs = intent_weights / intent_weights.sum()
+        index = rng.choice(len(spec.intents), p=intent_probs)
+        return spec.intents[int(index)][0]

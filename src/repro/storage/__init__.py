@@ -1,0 +1,25 @@
+"""Storage substrate: JSONL files and a SQLite-backed log store.
+
+The paper's pipeline is an offline batch job over months of query and click
+logs.  This package provides the two persistence formats the reproduction
+uses for those logs and for the mined synonym tables:
+
+* :mod:`repro.storage.jsonl` — newline-delimited JSON for portable dumps of
+  dataclass records (search tuples, click tuples, synonym rows);
+* :mod:`repro.storage.sqlite_store` — an embedded SQLite database with the
+  search-log / click-log / synonym schema, supporting the aggregation
+  queries the miner needs without loading everything into memory.
+"""
+
+from repro.storage.jsonl import read_jsonl, write_jsonl, append_jsonl
+from repro.storage.sqlite_store import LogDatabase
+from repro.storage.tables import TableSchema, ColumnSpec
+
+__all__ = [
+    "read_jsonl",
+    "write_jsonl",
+    "append_jsonl",
+    "LogDatabase",
+    "TableSchema",
+    "ColumnSpec",
+]

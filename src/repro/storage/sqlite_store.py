@@ -1,0 +1,182 @@
+"""SQLite-backed store for search logs, click logs and mined synonyms.
+
+The paper's miner is a batch job over months of Bing logs; at that scale
+the logs live in a database, not in memory.  ``LogDatabase`` gives the
+reproduction the same shape: Search Data ``A`` and Click Data ``L`` can be
+bulk-loaded into SQLite, the candidate-generation joins can run as SQL, and
+the mined dictionary can be persisted next to the raw data.
+
+The in-memory path (``LogDatabase()`` with no filename) is what the tests
+and benchmarks use; examples show the on-disk path.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from types import TracebackType
+from typing import Iterable, Iterator, Sequence
+
+from repro.storage.tables import (
+    CLICK_LOG_SCHEMA,
+    SEARCH_LOG_SCHEMA,
+    SYNONYM_SCHEMA,
+    TableSchema,
+)
+
+__all__ = ["LogDatabase"]
+
+
+class LogDatabase:
+    """Embedded SQLite database holding the reproduction's log tables.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path of the database file, or ``None`` for an in-memory
+        database (useful in tests and benchmarks).
+
+    The object is a context manager; leaving the ``with`` block closes the
+    connection.
+    """
+
+    _SCHEMAS: tuple[TableSchema, ...] = (
+        SEARCH_LOG_SCHEMA,
+        CLICK_LOG_SCHEMA,
+        SYNONYM_SCHEMA,
+    )
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        target = str(self.path) if self.path is not None else ":memory:"
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(target)
+        self._connection.execute("PRAGMA journal_mode = MEMORY")
+        self._connection.execute("PRAGMA synchronous = OFF")
+        self._create_tables()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _create_tables(self) -> None:
+        cursor = self._connection.cursor()
+        for schema in self._SCHEMAS:
+            cursor.execute(schema.create_statement())
+            for statement in schema.index_statements():
+                cursor.execute(statement)
+        self._connection.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection; the object is unusable after."""
+        self._connection.close()
+
+    def __enter__(self) -> "LogDatabase":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Bulk loading
+    # ------------------------------------------------------------------ #
+
+    def add_search_records(self, records: Iterable[tuple[str, str, int]]) -> int:
+        """Insert (query, url, rank) tuples into the search log."""
+        return self._bulk_insert(SEARCH_LOG_SCHEMA, records)
+
+    def add_click_records(self, records: Iterable[tuple[str, str, int]]) -> int:
+        """Insert (query, url, clicks) tuples into the click log."""
+        return self._bulk_insert(CLICK_LOG_SCHEMA, records)
+
+    def add_synonym_records(
+        self, records: Iterable[tuple[str, str, int, float, int]]
+    ) -> int:
+        """Insert (canonical, synonym, ipc, icr, clicks) rows."""
+        return self._bulk_insert(SYNONYM_SCHEMA, records)
+
+    def _bulk_insert(self, schema: TableSchema, records: Iterable[Sequence]) -> int:
+        rows = [tuple(record) for record in records]
+        if not rows:
+            return 0
+        self._connection.executemany(schema.insert_statement(), rows)
+        self._connection.commit()
+        return len(rows)
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the mining pipeline
+    # ------------------------------------------------------------------ #
+
+    def search_results(self, query: str, *, max_rank: int | None = None) -> list[tuple[str, int]]:
+        """Return (url, rank) rows for *query*, optionally limited to rank ≤ max_rank."""
+        sql = "SELECT url, rank FROM search_log WHERE query = ?"
+        params: list = [query]
+        if max_rank is not None:
+            sql += " AND rank <= ?"
+            params.append(max_rank)
+        sql += " ORDER BY rank"
+        return list(self._connection.execute(sql, params))
+
+    def clicks_for_query(self, query: str) -> list[tuple[str, int]]:
+        """Return (url, clicks) rows for *query*."""
+        sql = "SELECT url, clicks FROM click_log WHERE query = ?"
+        return list(self._connection.execute(sql, (query,)))
+
+    def queries_clicking_url(self, url: str) -> list[tuple[str, int]]:
+        """Return (query, clicks) rows whose clicks landed on *url*.
+
+        This is the reverse click-graph edge walk used in candidate
+        generation ("which queries reach this surrogate?").
+        """
+        sql = "SELECT query, clicks FROM click_log WHERE url = ?"
+        return list(self._connection.execute(sql, (url,)))
+
+    def iter_search_log(self) -> Iterator[tuple[str, str, int]]:
+        """Yield every (query, url, rank) row of the search log."""
+        yield from self._connection.execute("SELECT query, url, rank FROM search_log")
+
+    def iter_click_log(self) -> Iterator[tuple[str, str, int]]:
+        """Yield every (query, url, clicks) row of the click log."""
+        yield from self._connection.execute("SELECT query, url, clicks FROM click_log")
+
+    def iter_synonyms(self) -> Iterator[tuple[str, str, int, float, int]]:
+        """Yield every stored synonym row."""
+        yield from self._connection.execute(
+            "SELECT canonical, synonym, ipc, icr, clicks FROM synonyms"
+        )
+
+    def synonyms_for(self, canonical: str) -> list[tuple[str, int, float, int]]:
+        """Return (synonym, ipc, icr, clicks) rows for a canonical string."""
+        sql = (
+            "SELECT synonym, ipc, icr, clicks FROM synonyms "
+            "WHERE canonical = ? ORDER BY clicks DESC"
+        )
+        return list(self._connection.execute(sql, (canonical,)))
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def count(self, table: str) -> int:
+        """Return the number of rows in *table* (must be a known table)."""
+        known = {schema.name for schema in self._SCHEMAS}
+        if table not in known:
+            raise ValueError(f"unknown table {table!r}; expected one of {sorted(known)}")
+        (count,) = self._connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
+        return count
+
+    def distinct_queries(self, table: str = "click_log") -> int:
+        """Return the number of distinct query strings in a log table."""
+        known = {SEARCH_LOG_SCHEMA.name, CLICK_LOG_SCHEMA.name}
+        if table not in known:
+            raise ValueError(f"unknown log table {table!r}; expected one of {sorted(known)}")
+        (count,) = self._connection.execute(
+            f"SELECT COUNT(DISTINCT query) FROM {table}"
+        ).fetchone()
+        return count

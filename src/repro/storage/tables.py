@@ -1,0 +1,96 @@
+"""Tiny declarative table-schema helper for the SQLite log store.
+
+The log database only needs a handful of tables, but declaring them as data
+(rather than string-building CREATE statements inline) keeps the schema in
+one reviewable place and lets tests assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ColumnSpec", "TableSchema", "SEARCH_LOG_SCHEMA", "CLICK_LOG_SCHEMA", "SYNONYM_SCHEMA"]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column of a table: name, SQLite type and constraints."""
+
+    name: str
+    sql_type: str
+    constraints: str = ""
+
+    def render(self) -> str:
+        """Return the column definition fragment for CREATE TABLE."""
+        parts = [self.name, self.sql_type]
+        if self.constraints:
+            parts.append(self.constraints)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table: name, ordered columns, and secondary indexes."""
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+    indexes: tuple[tuple[str, ...], ...] = field(default_factory=tuple)
+
+    def create_statement(self) -> str:
+        """Return the CREATE TABLE IF NOT EXISTS statement."""
+        column_sql = ", ".join(column.render() for column in self.columns)
+        return f"CREATE TABLE IF NOT EXISTS {self.name} ({column_sql})"
+
+    def index_statements(self) -> list[str]:
+        """Return CREATE INDEX statements for every declared index."""
+        statements = []
+        for columns in self.indexes:
+            index_name = f"idx_{self.name}_{'_'.join(columns)}"
+            column_sql = ", ".join(columns)
+            statements.append(
+                f"CREATE INDEX IF NOT EXISTS {index_name} ON {self.name} ({column_sql})"
+            )
+        return statements
+
+    def insert_statement(self) -> str:
+        """Return a parametrised INSERT statement covering every column."""
+        names = ", ".join(column.name for column in self.columns)
+        placeholders = ", ".join("?" for _ in self.columns)
+        return f"INSERT INTO {self.name} ({names}) VALUES ({placeholders})"
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+
+SEARCH_LOG_SCHEMA = TableSchema(
+    name="search_log",
+    columns=(
+        ColumnSpec("query", "TEXT", "NOT NULL"),
+        ColumnSpec("url", "TEXT", "NOT NULL"),
+        ColumnSpec("rank", "INTEGER", "NOT NULL"),
+    ),
+    indexes=(("query",), ("url",)),
+)
+
+CLICK_LOG_SCHEMA = TableSchema(
+    name="click_log",
+    columns=(
+        ColumnSpec("query", "TEXT", "NOT NULL"),
+        ColumnSpec("url", "TEXT", "NOT NULL"),
+        ColumnSpec("clicks", "INTEGER", "NOT NULL"),
+    ),
+    indexes=(("query",), ("url",)),
+)
+
+SYNONYM_SCHEMA = TableSchema(
+    name="synonyms",
+    columns=(
+        ColumnSpec("canonical", "TEXT", "NOT NULL"),
+        ColumnSpec("synonym", "TEXT", "NOT NULL"),
+        ColumnSpec("ipc", "INTEGER", "NOT NULL"),
+        ColumnSpec("icr", "REAL", "NOT NULL"),
+        ColumnSpec("clicks", "INTEGER", "NOT NULL"),
+    ),
+    indexes=(("canonical",), ("synonym",)),
+)

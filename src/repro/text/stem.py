@@ -1,0 +1,211 @@
+"""A from-scratch Porter stemmer.
+
+The stemmer is deliberately the classic Porter (1980) algorithm rather than
+a newer variant: it is deterministic, dependency-free, and only needs to
+conflate obvious inflections ("cameras" → "camera", "walking" → "walk") so
+the search engine and the string-similarity baseline treat them alike.
+
+Reference: M. F. Porter, "An algorithm for suffix stripping", Program 14(3),
+1980.  The implementation follows the five-step description of that paper.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PorterStemmer", "stem", "stem_tokens"]
+
+_VOWELS = "aeiou"
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; instantiate once and reuse."""
+
+    # ------------------------------------------------------------------ #
+    # Measure and shape predicates
+    # ------------------------------------------------------------------ #
+
+    def _is_consonant(self, word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            return i == 0 or not self._is_consonant(word, i - 1)
+        return True
+
+    def _measure(self, stem_part: str) -> int:
+        """Return m, the number of VC sequences in *stem_part*."""
+        forms = []
+        for i in range(len(stem_part)):
+            letter = "c" if self._is_consonant(stem_part, i) else "v"
+            if not forms or forms[-1] != letter:
+                forms.append(letter)
+        return "".join(forms).count("vc")
+
+    def _contains_vowel(self, stem_part: str) -> bool:
+        return any(not self._is_consonant(stem_part, i) for i in range(len(stem_part)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and self._is_consonant(word, len(word) - 1)
+        )
+
+    def _ends_cvc(self, word: str) -> bool:
+        if len(word) < 3:
+            return False
+        if not self._is_consonant(word, len(word) - 3):
+            return False
+        if self._is_consonant(word, len(word) - 2):
+            return False
+        if not self._is_consonant(word, len(word) - 1):
+            return False
+        return word[-1] not in "wxy"
+
+    # ------------------------------------------------------------------ #
+    # Rule application helper
+    # ------------------------------------------------------------------ #
+
+    def _replace(self, word: str, suffix: str, replacement: str, m_min: int) -> str | None:
+        """If *word* ends with *suffix* and the stem measure is > *m_min*,
+        return the word with the suffix replaced; otherwise ``None``."""
+        if not word.endswith(suffix):
+            return None
+        stem_part = word[: len(word) - len(suffix)]
+        if self._measure(stem_part) > m_min:
+            return stem_part + replacement
+        return word
+
+    # ------------------------------------------------------------------ #
+    # Steps 1..5
+    # ------------------------------------------------------------------ #
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem_part = word[:-3]
+            if self._measure(stem_part) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"), ("anci", "ance"),
+        ("izer", "ize"), ("abli", "able"), ("alli", "al"), ("entli", "ent"),
+        ("eli", "e"), ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+        ("ator", "ate"), ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"), ("biliti", "ble"),
+    )
+
+    _STEP3_RULES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_RULES:
+            if word.endswith(suffix):
+                result = self._replace(word, suffix, replacement, 0)
+                return result if result is not None else word
+        return word
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_RULES:
+            if word.endswith(suffix):
+                result = self._replace(word, suffix, replacement, 0)
+                return result if result is not None else word
+        return word
+
+    def _step4(self, word: str) -> str:
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem_part = word[: len(word) - len(suffix)]
+                if self._measure(stem_part) > 1:
+                    if suffix == "ion" and (not stem_part or stem_part[-1] not in "st"):
+                        return word
+                    return stem_part
+                return word
+        if word.endswith("ion"):
+            stem_part = word[:-3]
+            if self._measure(stem_part) > 1 and stem_part and stem_part[-1] in "st":
+                return stem_part
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem_part = word[:-1]
+            m = self._measure(stem_part)
+            if m > 1:
+                return stem_part
+            if m == 1 and not self._ends_cvc(stem_part):
+                return stem_part
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if self._measure(word) > 1 and self._ends_double_consonant(word) and word.endswith("l"):
+            return word[:-1]
+        return word
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of *word* (expects a lowercase token)."""
+        if len(word) <= 2 or not word.isalpha():
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+
+_DEFAULT_STEMMER = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Stem a single lowercase token with the module-level stemmer."""
+    return _DEFAULT_STEMMER.stem(word)
+
+
+def stem_tokens(tokens: list[str]) -> list[str]:
+    """Stem every token in *tokens*, preserving order."""
+    return [_DEFAULT_STEMMER.stem(token) for token in tokens]

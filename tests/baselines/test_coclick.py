@@ -1,0 +1,115 @@
+"""Tests for the co-click query-similarity baseline."""
+
+import pytest
+
+from repro.baselines.coclick import CoClickConfig, CoClickSynonymFinder
+from repro.clicklog.log import ClickLog
+
+
+@pytest.fixture()
+def click_log():
+    return ClickLog.from_tuples(
+        [
+            # "indy 4" and "indiana jones 4" co-click the same two pages.
+            ("indy 4", "https://a.example", 50),
+            ("indy 4", "https://b.example", 50),
+            ("indiana jones 4", "https://a.example", 40),
+            ("indiana jones 4", "https://b.example", 40),
+            # "windows vista" and "pc" co-click a help page: related but not
+            # synonyms — the failure mode the paper attributes to similarity
+            # approaches.
+            ("windows vista", "https://help.example", 30),
+            ("pc", "https://help.example", 60),
+            ("pc", "https://shop.example", 200),
+            # The canonical camera name never occurs as a query.
+            ("digital rebel xt", "https://cam.example", 25),
+        ]
+    )
+
+
+class TestConfig:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            CoClickConfig(similarity_threshold=1.5)
+
+    def test_invalid_max_synonyms(self):
+        with pytest.raises(ValueError):
+            CoClickConfig(max_synonyms=0)
+
+
+class TestSimilarity:
+    def test_identical_click_profiles_score_high(self, click_log):
+        finder = CoClickSynonymFinder(click_log)
+        assert finder.similarity("indy 4", "indiana jones 4") > 0.7
+
+    def test_disjoint_profiles_score_zero(self, click_log):
+        finder = CoClickSynonymFinder(click_log)
+        assert finder.similarity("indy 4", "pc") == 0.0
+
+    def test_unknown_query_scores_zero(self, click_log):
+        finder = CoClickSynonymFinder(click_log)
+        assert finder.similarity("indy 4", "never asked") == 0.0
+
+    def test_unweighted_jaccard(self, click_log):
+        finder = CoClickSynonymFinder(click_log, CoClickConfig(weighted=False))
+        assert finder.similarity("windows vista", "pc") == pytest.approx(0.5)
+
+    def test_weighted_similarity_penalises_volume_mismatch(self, click_log):
+        weighted = CoClickSynonymFinder(click_log, CoClickConfig(weighted=True))
+        unweighted = CoClickSynonymFinder(click_log, CoClickConfig(weighted=False))
+        assert weighted.similarity("windows vista", "pc") < unweighted.similarity(
+            "windows vista", "pc"
+        )
+
+    def test_symmetry(self, click_log):
+        finder = CoClickSynonymFinder(click_log)
+        assert finder.similarity("indy 4", "indiana jones 4") == pytest.approx(
+            finder.similarity("indiana jones 4", "indy 4")
+        )
+
+
+class TestNeighbours:
+    def test_neighbours_sorted_by_score(self, click_log):
+        finder = CoClickSynonymFinder(click_log)
+        neighbours = finder.neighbours("pc")
+        scores = [score for _query, score in neighbours]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_self_excluded(self, click_log):
+        finder = CoClickSynonymFinder(click_log)
+        assert all(query != "indy 4" for query, _score in finder.neighbours("indy 4"))
+
+    def test_unknown_query_has_no_neighbours(self, click_log):
+        finder = CoClickSynonymFinder(click_log)
+        assert finder.neighbours("canox eon 350d") == []
+
+
+class TestPaperFailureModes:
+    def test_related_but_not_synonym_is_reported(self, click_log):
+        # The baseline happily reports "pc" as similar to "windows vista":
+        # that is the precision problem the paper points out.
+        finder = CoClickSynonymFinder(click_log, CoClickConfig(similarity_threshold=0.1))
+        entry = finder.find_one("windows vista")
+        assert "pc" in entry.synonyms
+
+    def test_unqueried_canonical_produces_nothing(self, click_log):
+        # The coverage problem: a canonical value that never occurs as a
+        # query has no click profile and therefore no neighbours.
+        finder = CoClickSynonymFinder(click_log)
+        assert not finder.find_one("canox eon 350d").has_synonyms
+
+    def test_true_synonym_also_found(self, click_log):
+        finder = CoClickSynonymFinder(click_log)
+        assert "indiana jones 4" in finder.find_one("indy 4").synonyms
+
+    def test_max_synonyms_cap(self, click_log):
+        finder = CoClickSynonymFinder(
+            click_log, CoClickConfig(similarity_threshold=0.0, max_synonyms=1)
+        )
+        assert len(finder.find_one("pc").selected) <= 1
+
+    def test_find_many_shape(self, click_log):
+        finder = CoClickSynonymFinder(click_log)
+        result = finder.find(["indy 4", "canox eon 350d"])
+        assert len(result) == 2
+        assert result.hit_count == 1

@@ -1,0 +1,74 @@
+"""Tests for the string-similarity baseline."""
+
+import pytest
+
+from repro.baselines.stringsim import StringSimilarityConfig, StringSimilaritySynonymFinder
+from repro.clicklog.log import ClickLog
+
+
+@pytest.fixture()
+def click_log():
+    return ClickLog.from_tuples(
+        [
+            ("madagascar 2", "https://a.example", 30),
+            ("madagascar escape 2 africa trailer", "https://a.example", 5),
+            ("escape africa", "https://a.example", 10),
+            ("digital rebel xt", "https://b.example", 40),
+            ("canox eon 350d", "https://b.example", 8),
+            ("weather forecast", "https://c.example", 90),
+        ]
+    )
+
+
+class TestConfig:
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            StringSimilarityConfig(containment_threshold=1.2)
+        with pytest.raises(ValueError):
+            StringSimilarityConfig(similarity_threshold=-0.1)
+        with pytest.raises(ValueError):
+            StringSimilarityConfig(max_synonyms=0)
+
+
+class TestStringSimilarityBaseline:
+    def test_easy_case_found(self, click_log):
+        finder = StringSimilaritySynonymFinder(click_log)
+        entry = finder.find_one("Madagascar Escape 2 Africa")
+        assert "madagascar 2" in entry.synonyms
+
+    def test_false_positive_substring(self, click_log):
+        # The paper's example: "Escape Africa" is a token-contained substring
+        # of "Madagascar: Escape 2 Africa" but not a true synonym — the
+        # surface method happily reports it, which is exactly its weakness.
+        finder = StringSimilaritySynonymFinder(click_log)
+        entry = finder.find_one("Madagascar Escape 2 Africa")
+        assert "escape africa" in entry.synonyms
+
+    def test_codename_case_hopeless(self, click_log):
+        # "Digital Rebel XT" shares no tokens with "Canox EON 350D": the
+        # surface method cannot find it.
+        finder = StringSimilaritySynonymFinder(click_log)
+        entry = finder.find_one("Canox EON 350D")
+        assert "digital rebel xt" not in entry.synonyms
+
+    def test_unrelated_queries_excluded(self, click_log):
+        finder = StringSimilaritySynonymFinder(click_log)
+        entry = finder.find_one("Madagascar Escape 2 Africa")
+        assert "weather forecast" not in entry.synonyms
+
+    def test_canonical_itself_excluded(self, click_log):
+        finder = StringSimilaritySynonymFinder(click_log)
+        entry = finder.find_one("madagascar 2")
+        assert "madagascar 2" not in entry.synonyms
+
+    def test_max_synonyms_cap(self, click_log):
+        finder = StringSimilaritySynonymFinder(
+            click_log, StringSimilarityConfig(max_synonyms=1, containment_threshold=0.3, similarity_threshold=0.1)
+        )
+        assert len(finder.find_one("Madagascar Escape 2 Africa").selected) == 1
+
+    def test_find_many(self, click_log):
+        finder = StringSimilaritySynonymFinder(click_log)
+        result = finder.find(["Madagascar Escape 2 Africa", "Canox EON 350D"])
+        assert len(result) == 2
+        assert result.hit_count >= 1

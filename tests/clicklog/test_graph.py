@@ -1,0 +1,79 @@
+"""Tests for the bipartite click graph."""
+
+import pytest
+
+from repro.clicklog.graph import ClickGraph
+
+
+@pytest.fixture()
+def graph(mini_click_log):
+    return ClickGraph.from_click_log(mini_click_log)
+
+
+class TestConstruction:
+    def test_from_click_log_edges(self, graph, mini_click_log):
+        stats = graph.stats()
+        assert stats.edge_count == len(mini_click_log)
+        assert stats.total_clicks == mini_click_log.total_click_volume()
+
+    def test_add_edge_accumulates(self):
+        graph = ClickGraph()
+        graph.add_edge("q", "u", 2)
+        graph.add_edge("q", "u", 3)
+        assert graph.edge_weight("q", "u") == 5
+
+    def test_add_edge_rejects_nonpositive_clicks(self):
+        graph = ClickGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("q", "u", 0)
+
+
+class TestTopology:
+    def test_queries_and_urls(self, graph):
+        assert "indy 4" in graph.queries()
+        assert "https://studio.example.com/indy-4" in graph.urls()
+
+    def test_has_query(self, graph):
+        assert graph.has_query("indy 4")
+        assert not graph.has_query("never asked")
+
+    def test_adjacency(self, graph):
+        urls = graph.urls_of_query("indy 4")
+        assert urls["https://studio.example.com/indy-4"] == 60
+        queries = graph.queries_of_url("https://studio.example.com/indy-4")
+        assert queries["indiana jones"] == 20
+
+    def test_missing_nodes_give_empty_adjacency(self, graph):
+        assert graph.urls_of_query("nope") == {}
+        assert graph.queries_of_url("https://nope.example.com") == {}
+
+    def test_iter_edges_complete(self, graph, mini_click_log):
+        edges = list(graph.iter_edges())
+        assert len(edges) == len(mini_click_log)
+        assert all(clicks > 0 for _q, _u, clicks in edges)
+
+
+class TestTransitions:
+    def test_query_transition_distribution_sums_to_one(self, graph):
+        distribution = graph.transition_from_query("indy 4")
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert distribution["https://studio.example.com/indy-4"] == pytest.approx(60 / 90)
+
+    def test_url_transition_distribution_sums_to_one(self, graph):
+        distribution = graph.transition_from_url("https://studio.example.com/indy-4")
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_transition_from_missing_node(self, graph):
+        assert graph.transition_from_query("never asked") == {}
+        assert graph.transition_from_url("https://nope.example.com") == {}
+
+
+class TestStats:
+    def test_average_degree(self, graph):
+        stats = graph.stats()
+        assert stats.average_degree_query == pytest.approx(stats.edge_count / stats.query_count)
+
+    def test_empty_graph_stats(self):
+        stats = ClickGraph().stats()
+        assert stats.query_count == 0
+        assert stats.average_degree_query == 0.0

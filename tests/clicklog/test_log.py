@@ -1,0 +1,93 @@
+"""Tests for SearchLog and ClickLog."""
+
+from repro.clicklog.log import ClickLog, SearchLog
+from repro.clicklog.records import ClickRecord, ImpressionRecord, SearchRecord
+
+
+class TestSearchLog:
+    def test_top_urls_in_rank_order(self, mini_search_log):
+        canonical = "indiana jones and the kingdom of the crystal skull"
+        urls = mini_search_log.top_urls(canonical)
+        assert urls == [
+            "https://studio.example.com/indy-4",
+            "https://wiki.example.org/indy-4",
+            "https://magazine.example.com/box-office",
+        ]
+
+    def test_top_urls_k_cutoff(self, mini_search_log):
+        canonical = "indiana jones and the kingdom of the crystal skull"
+        assert len(mini_search_log.top_urls(canonical, k=2)) == 2
+
+    def test_unknown_query_gives_empty(self, mini_search_log):
+        assert mini_search_log.top_urls("unknown query") == []
+
+    def test_contains_and_len(self, mini_search_log):
+        assert "indiana jones and the kingdom of the crystal skull" in mini_search_log
+        assert len(mini_search_log) == 3
+
+    def test_iter_records_roundtrip(self, mini_search_log):
+        records = list(mini_search_log.iter_records())
+        rebuilt = SearchLog(records)
+        assert len(rebuilt) == len(mini_search_log)
+        assert rebuilt.queries() == mini_search_log.queries()
+
+    def test_from_tuples(self):
+        log = SearchLog.from_tuples([("q", "u1", 1), ("q", "u2", 2)])
+        assert log.top_urls("q") == ["u1", "u2"]
+
+
+class TestClickLog:
+    def test_urls_clicked_for(self, mini_click_log):
+        assert mini_click_log.urls_clicked_for("indy 4") == {
+            "https://studio.example.com/indy-4",
+            "https://wiki.example.org/indy-4",
+        }
+
+    def test_queries_clicking(self, mini_click_log):
+        queries = mini_click_log.queries_clicking("https://studio.example.com/indy-4")
+        assert "indy 4" in queries and "harrison ford" in queries
+
+    def test_click_counts(self, mini_click_log):
+        assert mini_click_log.clicks("indy 4", "https://studio.example.com/indy-4") == 60
+        assert mini_click_log.clicks("indy 4", "https://missing.example.com") == 0
+
+    def test_total_clicks(self, mini_click_log):
+        assert mini_click_log.total_clicks("indy 4") == 90
+        assert mini_click_log.total_clicks("unknown") == 0
+
+    def test_clicks_by_url_is_copy(self, mini_click_log):
+        view = mini_click_log.clicks_by_url("indy 4")
+        view["https://studio.example.com/indy-4"] = 0
+        assert mini_click_log.clicks("indy 4", "https://studio.example.com/indy-4") == 60
+
+    def test_repeated_pairs_accumulate(self):
+        log = ClickLog()
+        log.add(ClickRecord("q", "u", 2))
+        log.add(ClickRecord("q", "u", 3))
+        assert log.clicks("q", "u") == 5
+        assert len(log) == 1
+
+    def test_query_frequency_alias(self, mini_click_log):
+        assert mini_click_log.query_frequency("indy 4") == mini_click_log.total_clicks("indy 4")
+
+    def test_total_click_volume(self, mini_click_log):
+        expected = sum(record.clicks for record in mini_click_log.iter_records())
+        assert mini_click_log.total_click_volume() == expected
+
+    def test_from_impressions_counts_only_clicks(self):
+        impressions = [
+            ImpressionRecord(1, "q", "u1", 1, True),
+            ImpressionRecord(1, "q", "u2", 2, False),
+            ImpressionRecord(2, "q", "u1", 1, True),
+        ]
+        log = ClickLog.from_impressions(impressions)
+        assert log.clicks("q", "u1") == 2
+        assert log.clicks("q", "u2") == 0
+
+    def test_queries_and_urls_listing(self, mini_click_log):
+        assert "indy 4" in mini_click_log.queries()
+        assert "https://wiki.example.org/indy-4" in mini_click_log.urls()
+
+    def test_contains(self, mini_click_log):
+        assert "indy 4" in mini_click_log
+        assert "unseen" not in mini_click_log

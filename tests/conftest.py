@@ -1,0 +1,115 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (simulated worlds) are session-scoped so the whole
+suite builds them once; the handcrafted fixtures are tiny and rebuilt per
+test for isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clicklog.log import ClickLog, SearchLog
+from repro.search.documents import Corpus, WebPage
+from repro.search.engine import SearchEngine
+from repro.simulation.aliases import build_alias_table
+from repro.simulation.catalog import movie_catalog
+from repro.simulation.scenario import ScenarioConfig, SimulatedWorld, build_world
+
+
+@pytest.fixture(scope="session")
+def toy_world() -> SimulatedWorld:
+    """A small but complete simulated world shared by the whole session."""
+    return build_world(ScenarioConfig.toy())
+
+
+@pytest.fixture(scope="session")
+def toy_catalog():
+    """A 20-entity movie catalog (matches the toy world's, same seeds)."""
+    return movie_catalog(size=20, seed=14)
+
+
+@pytest.fixture(scope="session")
+def toy_alias_table(toy_catalog):
+    """Alias table over :func:`toy_catalog`."""
+    return build_alias_table(toy_catalog, seed=22)
+
+
+@pytest.fixture()
+def mini_corpus() -> Corpus:
+    """Four handcrafted pages: two about one movie, one about another, one generic."""
+    return Corpus(
+        [
+            WebPage(
+                url="https://studio.example.com/indy-4",
+                title="Indiana Jones and the Kingdom of the Crystal Skull - official site",
+                body="Indiana Jones returns. Also known as Indy 4, Indiana Jones 4.",
+                site="studio.example.com",
+                entity_id="movie-indy4",
+            ),
+            WebPage(
+                url="https://wiki.example.org/indy-4",
+                title="Indiana Jones and the Kingdom of the Crystal Skull - encyclopedia",
+                body="The fourth Indiana Jones film, released in 2008.",
+                site="wiki.example.org",
+                entity_id="movie-indy4",
+            ),
+            WebPage(
+                url="https://studio.example.com/madagascar-2",
+                title="Madagascar Escape 2 Africa - official site",
+                body="The animals escape to Africa in Madagascar 2.",
+                site="studio.example.com",
+                entity_id="movie-mada2",
+            ),
+            WebPage(
+                url="https://magazine.example.com/box-office",
+                title="Box office analysis for 2008",
+                body="A look at the year in film with no particular movie in focus.",
+                site="magazine.example.com",
+                entity_id=None,
+            ),
+        ]
+    )
+
+
+@pytest.fixture()
+def mini_engine(mini_corpus) -> SearchEngine:
+    """Search engine over :func:`mini_corpus`."""
+    return SearchEngine(mini_corpus)
+
+
+@pytest.fixture()
+def mini_search_log() -> SearchLog:
+    """Handcrafted Search Data for the canonical Indy-4 string."""
+    canonical = "indiana jones and the kingdom of the crystal skull"
+    return SearchLog.from_tuples(
+        [
+            (canonical, "https://studio.example.com/indy-4", 1),
+            (canonical, "https://wiki.example.org/indy-4", 2),
+            (canonical, "https://magazine.example.com/box-office", 3),
+        ]
+    )
+
+
+@pytest.fixture()
+def mini_click_log() -> ClickLog:
+    """Handcrafted Click Data with a synonym, a hypernym and a related query.
+
+    * ``"indy 4"``          — clicks concentrated on the two surrogates
+      (high IPC, high ICR: a true synonym);
+    * ``"indiana jones"``   — clicks split between a surrogate and an
+      off-surrogate franchise page (hypernym profile: low ICR);
+    * ``"harrison ford"``   — clicks mostly elsewhere (related profile).
+    """
+    return ClickLog.from_tuples(
+        [
+            ("indy 4", "https://studio.example.com/indy-4", 60),
+            ("indy 4", "https://wiki.example.org/indy-4", 30),
+            ("indiana jones", "https://studio.example.com/indy-4", 20),
+            ("indiana jones", "https://fan.example.net/raiders", 70),
+            ("harrison ford", "https://bio.example.com/harrison-ford", 90),
+            ("harrison ford", "https://studio.example.com/indy-4", 5),
+            ("indiana jones and the kingdom of the crystal skull",
+             "https://studio.example.com/indy-4", 10),
+        ]
+    )

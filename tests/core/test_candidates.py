@@ -1,0 +1,55 @@
+"""Tests for CandidateGenerator (Definition 6)."""
+
+import pytest
+
+from repro.core.candidates import CandidateGenerator
+
+CANONICAL = "indiana jones and the kingdom of the crystal skull"
+SURROGATES = {
+    "https://studio.example.com/indy-4",
+    "https://wiki.example.org/indy-4",
+    "https://magazine.example.com/box-office",
+}
+
+
+class TestCandidateGeneration:
+    def test_candidates_require_intersection(self, mini_click_log):
+        generator = CandidateGenerator(mini_click_log)
+        candidates = generator.candidates_for(CANONICAL, SURROGATES)
+        assert "indy 4" in candidates
+        assert "indiana jones" in candidates
+        assert "harrison ford" in candidates
+
+    def test_queries_without_surrogate_clicks_excluded(self, mini_click_log):
+        generator = CandidateGenerator(mini_click_log)
+        candidates = generator.candidates_for(CANONICAL, {"https://unclicked.example.com"})
+        assert candidates == set()
+
+    def test_canonical_string_excluded(self, mini_click_log):
+        generator = CandidateGenerator(mini_click_log)
+        candidates = generator.candidates_for(CANONICAL, SURROGATES)
+        assert CANONICAL not in candidates
+
+    def test_min_clicks_filters_rare_queries(self, mini_click_log):
+        generator = CandidateGenerator(mini_click_log, min_clicks=100)
+        candidates = generator.candidates_for(CANONICAL, SURROGATES)
+        # Only "indiana jones" (90 clicks) and "harrison ford" (95) clear 100?
+        # indy 4 has 90, indiana jones 90, harrison ford 95 -> none reach 100.
+        assert candidates == set()
+
+    def test_min_clicks_keeps_high_volume_queries(self, mini_click_log):
+        generator = CandidateGenerator(mini_click_log, min_clicks=91)
+        candidates = generator.candidates_for(CANONICAL, SURROGATES)
+        assert candidates == {"harrison ford"}
+
+    def test_invalid_min_clicks(self, mini_click_log):
+        with pytest.raises(ValueError):
+            CandidateGenerator(mini_click_log, min_clicks=-1)
+
+    def test_clicked_urls_passthrough(self, mini_click_log):
+        generator = CandidateGenerator(mini_click_log)
+        assert generator.clicked_urls("indy 4") == mini_click_log.urls_clicked_for("indy 4")
+
+    def test_empty_surrogates(self, mini_click_log):
+        generator = CandidateGenerator(mini_click_log)
+        assert generator.candidates_for(CANONICAL, set()) == set()

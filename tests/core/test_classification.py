@@ -1,0 +1,134 @@
+"""Tests for the candidate relation classifier (paper Figure 1 signatures)."""
+
+import pytest
+
+from repro.core.classification import (
+    CandidateRelation,
+    RelationClassifier,
+    RelationThresholds,
+)
+from repro.core.types import SynonymCandidate
+
+CANONICAL = "indiana jones and the kingdom of the crystal skull"
+
+
+def _candidate(query, ipc, icr, clicks=50):
+    return SynonymCandidate(query=query, ipc=ipc, icr=icr, clicks=clicks)
+
+
+@pytest.fixture()
+def classifier():
+    return RelationClassifier()
+
+
+class TestThresholds:
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            RelationThresholds(synonym_min_icr=1.5)
+
+    def test_invalid_ipc(self):
+        with pytest.raises(ValueError):
+            RelationThresholds(synonym_min_ipc=-1)
+
+
+class TestFigureOneSignatures:
+    def test_synonym_signature(self, classifier):
+        # Figure 1(a): big intersection, clicks concentrated inside it.
+        classified = classifier.classify(_candidate("indy 4", ipc=8, icr=0.95), CANONICAL)
+        assert classified.relation is CandidateRelation.SYNONYM
+
+    def test_hypernym_signature(self, classifier):
+        # Figure 1(b): "Indiana Jones" reaches many more pages, most clicks
+        # fall outside the intersection, and it is lexically broader.
+        classified = classifier.classify(_candidate("indiana jones", ipc=5, icr=0.2), CANONICAL)
+        assert classified.relation is CandidateRelation.HYPERNYM
+
+    def test_hyponym_signature(self, classifier):
+        # Figure 1(c): narrower aspect — exclusive clicks on one surrogate.
+        classified = classifier.classify(
+            _candidate("indiana jones and the kingdom of the crystal skull dvd release",
+                       ipc=1, icr=0.9),
+            CANONICAL,
+        )
+        assert classified.relation is CandidateRelation.HYPONYM
+
+    def test_related_signature(self, classifier):
+        # Figure 1(d): "Harrison Ford" — low IPC and low ICR.
+        classified = classifier.classify(_candidate("harrison ford", ipc=1, icr=0.05), CANONICAL)
+        assert classified.relation is CandidateRelation.RELATED
+
+    def test_rationale_is_informative(self, classifier):
+        classified = classifier.classify(_candidate("indy 4", ipc=8, icr=0.95), CANONICAL)
+        assert "IPC" in classified.rationale and "ICR" in classified.rationale
+
+
+class TestMiddleGround:
+    def test_lexically_narrower_middle_case(self, classifier):
+        # Moderate ICR, moderate IPC but the query contains extra modifiers:
+        # lean hyponym.
+        classified = classifier.classify(
+            _candidate("indiana jones crystal skull trailer hd", ipc=4, icr=0.4), CANONICAL
+        )
+        assert classified.relation in (CandidateRelation.HYPONYM, CandidateRelation.HYPERNYM)
+
+    def test_disjoint_middle_case_is_related(self, classifier):
+        classified = classifier.classify(_candidate("summer blockbusters", ipc=4, icr=0.4), CANONICAL)
+        assert classified.relation is CandidateRelation.RELATED
+
+
+class TestBatchHelpers:
+    def test_classify_all_preserves_order(self, classifier):
+        candidates = [
+            _candidate("indy 4", 8, 0.95),
+            _candidate("indiana jones", 5, 0.2),
+            _candidate("harrison ford", 1, 0.05),
+        ]
+        classified = classifier.classify_all(candidates, CANONICAL)
+        assert [c.candidate.query for c in classified] == [c.query for c in candidates]
+
+    def test_histogram(self, classifier):
+        candidates = [
+            _candidate("indy 4", 8, 0.95),
+            _candidate("indiana jones 4", 7, 0.9),
+            _candidate("indiana jones", 5, 0.2),
+            _candidate("harrison ford", 1, 0.05),
+        ]
+        histogram = classifier.histogram(candidates, CANONICAL)
+        assert histogram[CandidateRelation.SYNONYM] == 2
+        assert histogram[CandidateRelation.HYPERNYM] == 1
+        assert histogram[CandidateRelation.RELATED] == 1
+
+    def test_custom_thresholds_change_decision(self):
+        strict = RelationClassifier(RelationThresholds(synonym_min_ipc=9, synonym_min_icr=0.99))
+        classified = strict.classify(_candidate("indy 4", ipc=8, icr=0.95), CANONICAL)
+        assert classified.relation is not CandidateRelation.SYNONYM
+
+
+class TestOnMinedOutput:
+    def test_classifier_agrees_with_ground_truth_mostly(self, toy_world):
+        from repro.core import MinerConfig, SynonymMiner
+        from repro.eval.labeling import GroundTruthOracle
+        from repro.simulation.aliases import AliasKind
+
+        miner = SynonymMiner(
+            click_log=toy_world.click_log,
+            search_log=toy_world.search_log,
+            config=MinerConfig(ipc_threshold=0, icr_threshold=0.0),
+        )
+        oracle = GroundTruthOracle(toy_world.catalog, toy_world.alias_table)
+        classifier = RelationClassifier()
+
+        agree = 0
+        total = 0
+        for canonical in toy_world.canonical_queries():
+            entry = miner.mine_one(canonical)
+            for candidate in entry.candidates:
+                truth = oracle.relation(candidate.query, canonical)
+                if truth not in (AliasKind.SYNONYM, AliasKind.HYPERNYM):
+                    continue
+                predicted = classifier.classify(candidate, canonical).relation
+                total += 1
+                if predicted.value == truth.value:
+                    agree += 1
+        assert total > 30
+        assert agree / total > 0.6

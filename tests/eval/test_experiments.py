@@ -1,0 +1,116 @@
+"""Tests for the experiment runners on the shared toy world."""
+
+import pytest
+
+from repro.eval.experiments import (
+    run_icr_sweep,
+    run_ipc_sweep,
+    run_measure_ablation,
+    run_surrogate_k_ablation,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def ipc_sweep(toy_world):
+    return run_ipc_sweep(toy_world, ipc_values=(2, 4, 6, 8))
+
+
+@pytest.fixture(scope="module")
+def icr_sweep(toy_world):
+    return run_icr_sweep(toy_world, ipc_values=(2, 4), icr_values=(0.05, 0.4, 0.8))
+
+
+@pytest.fixture(scope="module")
+def table1(toy_world):
+    return run_table1([toy_world])
+
+
+class TestIPCSweep:
+    def test_points_cover_requested_thresholds(self, ipc_sweep):
+        assert [point.ipc_threshold for point in ipc_sweep.points] == [2, 4, 6, 8]
+
+    def test_synonym_count_decreases_with_threshold(self, ipc_sweep):
+        counts = [point.synonym_count for point in ipc_sweep.points]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_coverage_decreases_with_threshold(self, ipc_sweep):
+        coverage = [point.coverage_increase for point in ipc_sweep.points]
+        assert coverage == sorted(coverage, reverse=True)
+
+    def test_precision_trend_upward(self, ipc_sweep):
+        first, last = ipc_sweep.points[0], ipc_sweep.points[-1]
+        assert last.precision >= first.precision
+
+    def test_metrics_in_valid_ranges(self, ipc_sweep):
+        for point in ipc_sweep.points:
+            assert 0.0 <= point.precision <= 1.0
+            assert 0.0 <= point.weighted_precision <= 1.0
+            assert point.coverage_increase >= 0.0
+
+    def test_series_accessor(self, ipc_sweep):
+        series = ipc_sweep.series("precision")
+        assert len(series) == 4
+        assert series[0][0] == 2
+
+
+class TestICRSweep:
+    def test_curves_per_ipc_value(self, icr_sweep):
+        assert set(icr_sweep.curves) == {2, 4}
+        assert len(icr_sweep.curve(2)) == 3
+
+    def test_synonyms_decrease_with_icr(self, icr_sweep):
+        for curve in icr_sweep.curves.values():
+            counts = [point.synonym_count for point in curve]
+            assert counts == sorted(counts, reverse=True)
+
+    def test_weighted_precision_trend_upward_with_icr(self, icr_sweep):
+        for curve in icr_sweep.curves.values():
+            assert curve[-1].weighted_precision >= curve[0].weighted_precision
+
+    def test_higher_ipc_curve_has_fewer_synonyms(self, icr_sweep):
+        loose = icr_sweep.curve(2)[0].synonym_count
+        tight = icr_sweep.curve(4)[0].synonym_count
+        assert tight <= loose
+
+    def test_missing_curve_is_empty(self, icr_sweep):
+        assert icr_sweep.curve(99) == []
+
+
+class TestTable1:
+    def test_three_methods_reported(self, table1, toy_world):
+        methods = {row.method for row in table1.for_dataset(toy_world.config.dataset)}
+        assert methods == {"Us", "Wiki", "Walk(0.8)"}
+
+    def test_row_lookup(self, table1, toy_world):
+        row = table1.row(toy_world.config.dataset, "Us")
+        assert row is not None and row.originals == len(toy_world.catalog)
+        assert table1.row("nonexistent", "Us") is None
+
+    def test_our_method_beats_wikipedia_expansion(self, table1, toy_world):
+        dataset = toy_world.config.dataset
+        us = table1.row(dataset, "Us")
+        wiki = table1.row(dataset, "Wiki")
+        assert us.synonyms > wiki.synonyms
+        assert us.expansion_ratio > wiki.expansion_ratio
+
+    def test_ratios_within_bounds(self, table1):
+        for row in table1.rows:
+            assert 0.0 <= row.hit_ratio <= 1.0
+            assert row.expansion_ratio >= 1.0 or row.synonyms == 0
+            assert 0.0 <= row.precision <= 1.0
+
+
+class TestAblations:
+    def test_surrogate_k_ablation_points(self, toy_world):
+        points = run_surrogate_k_ablation(toy_world, k_values=(3, 10))
+        assert [point.label for point in points] == ["k=3", "k=10"]
+        assert points[1].synonym_count >= 0
+
+    def test_measure_ablation_order_and_effect(self, toy_world):
+        points = {point.label: point for point in run_measure_ablation(toy_world)}
+        assert set(points) == {"neither", "ipc-only", "icr-only", "both"}
+        assert points["both"].synonym_count <= points["ipc-only"].synonym_count
+        assert points["both"].synonym_count <= points["icr-only"].synonym_count
+        assert points["neither"].synonym_count >= points["ipc-only"].synonym_count
+        assert points["both"].precision >= points["neither"].precision

@@ -1,0 +1,91 @@
+"""Tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.eval.experiments import ICRSweepResult, IPCSweepResult, SweepPoint
+from repro.eval.figures import AsciiPlotConfig, plot_icr_sweep, plot_ipc_sweep, scatter_plot
+
+
+def _point(ipc, icr, precision, weighted, coverage):
+    return SweepPoint(
+        ipc_threshold=ipc,
+        icr_threshold=icr,
+        precision=precision,
+        weighted_precision=weighted,
+        coverage_increase=coverage,
+        synonym_count=10,
+        hit_count=5,
+    )
+
+
+class TestConfig:
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            AsciiPlotConfig(width=5)
+        with pytest.raises(ValueError):
+            AsciiPlotConfig(height=2)
+
+    def test_y_range_validated(self):
+        with pytest.raises(ValueError):
+            AsciiPlotConfig(y_min=1.0, y_max=0.5)
+
+
+class TestScatterPlot:
+    def test_empty_series(self):
+        assert scatter_plot({}) == "(no data to plot)"
+
+    def test_plot_dimensions(self):
+        config = AsciiPlotConfig(width=30, height=10)
+        text = scatter_plot({"a": [(0.5, 0.5), (1.0, 0.9)]}, config=config)
+        plot_rows = [line for line in text.splitlines() if "|" in line]
+        assert len(plot_rows) == 10
+        assert all(len(line) <= 30 + 8 for line in plot_rows)
+
+    def test_markers_and_legend(self):
+        text = scatter_plot({"alpha": [(0.1, 0.2)], "beta": [(0.8, 0.9)]})
+        assert "A = alpha" in text and "B = beta" in text
+        assert "A" in text and "B" in text
+
+    def test_duplicate_marker_letters_disambiguated(self):
+        text = scatter_plot({"syns": [(0.1, 0.2)], "syns w": [(0.4, 0.5)]})
+        legend_line = text.splitlines()[-1]
+        markers = [part.strip().split(" = ")[0] for part in legend_line.split(",")]
+        assert len(set(markers)) == 2
+
+    def test_out_of_range_values_clamped(self):
+        text = scatter_plot({"a": [(0.5, 5.0), (0.6, -3.0)]})
+        assert "(no data to plot)" not in text
+
+    def test_single_x_value_does_not_crash(self):
+        text = scatter_plot({"a": [(1.0, 0.5), (1.0, 0.7)]})
+        assert "100%" in text
+
+
+class TestSweepPlots:
+    def test_plot_ipc_sweep_contains_both_series(self):
+        result = IPCSweepResult(
+            dataset="movies",
+            points=[_point(2, 0.0, 0.4, 0.5, 3.0), _point(10, 0.0, 0.95, 0.99, 0.5)],
+        )
+        text = plot_ipc_sweep(result)
+        assert text.startswith("Figure 2 (ASCII)")
+        assert "S = syns" in text and "W = weighted" in text
+
+    def test_plot_icr_sweep_one_series_per_ipc(self):
+        result = ICRSweepResult(
+            dataset="movies",
+            curves={
+                2: [_point(2, 0.01, 0.5, 0.6, 2.5), _point(2, 0.9, 0.9, 0.92, 1.5)],
+                4: [_point(4, 0.01, 0.8, 0.85, 2.0)],
+            },
+        )
+        text = plot_icr_sweep(result)
+        assert "ipc2" in text and "ipc4" in text
+        assert "weighted precision" in text
+
+    def test_plot_on_real_sweep(self, toy_world):
+        from repro.eval.experiments import run_ipc_sweep
+
+        text = plot_ipc_sweep(run_ipc_sweep(toy_world, ipc_values=(2, 4, 6)))
+        assert "Figure 2 (ASCII)" in text
+        assert "|" in text

@@ -1,0 +1,39 @@
+"""Tests for the log-volume sweep experiment."""
+
+import pytest
+
+from repro.eval.experiments import run_log_volume_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep(toy_world):
+    return run_log_volume_sweep(toy_world, months=3)
+
+
+class TestLogVolumeSweep:
+    def test_one_point_per_prefix(self, sweep):
+        assert len(sweep) == 3
+        assert sweep[0].label == "through 2008-07"
+
+    def test_click_volume_grows(self, sweep):
+        volumes = [point.click_volume for point in sweep]
+        assert volumes == sorted(volumes)
+        assert volumes[0] > 0
+
+    def test_coverage_and_synonyms_never_shrink_much(self, sweep):
+        # More log data can only add candidates; small fluctuations come
+        # from ICR denominators, so allow a modest tolerance.
+        assert sweep[-1].synonym_count >= sweep[0].synonym_count * 0.8
+        assert sweep[-1].hit_ratio >= sweep[0].hit_ratio - 0.1
+
+    def test_metrics_in_range(self, sweep):
+        for point in sweep:
+            assert 0.0 <= point.hit_ratio <= 1.0
+            assert 0.0 <= point.precision <= 1.0
+            assert point.coverage_increase >= 0.0
+
+    def test_more_months_help_or_saturate(self, toy_world):
+        short = run_log_volume_sweep(toy_world, months=1)
+        long = run_log_volume_sweep(toy_world, months=3)
+        assert long[-1].click_volume > short[-1].click_volume
+        assert long[-1].synonym_count >= short[-1].synonym_count * 0.8

@@ -1,0 +1,35 @@
+"""Tests for the click-noise robustness ablation."""
+
+import pytest
+
+from repro.eval.experiments import run_noise_ablation
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    # Tiny worlds keep the test fast; two noise levels are enough to assert
+    # the direction of the effect.
+    return run_noise_ablation(
+        noise_multipliers=(1.0, 4.0), entity_count=12, session_count=3_000
+    )
+
+
+class TestNoiseAblation:
+    def test_one_point_per_noise_level(self, ablation):
+        assert [point.label for point in ablation] == ["noise x1", "noise x4"]
+
+    def test_metrics_in_valid_ranges(self, ablation):
+        for point in ablation:
+            assert 0.0 <= point.precision <= 1.0
+            assert 0.0 <= point.weighted_precision <= 1.0
+            assert point.coverage_increase >= 0.0
+            assert point.synonym_count >= 0
+
+    def test_miner_still_works_under_heavy_noise(self, ablation):
+        noisy = ablation[-1]
+        assert noisy.synonym_count > 0
+        assert noisy.precision > 0.3
+
+    def test_clean_world_not_worse_than_noisy(self, ablation):
+        clean, noisy = ablation
+        assert clean.weighted_precision >= noisy.weighted_precision - 0.15

@@ -1,0 +1,104 @@
+"""Tests for ambiguous-match resolution."""
+
+import pytest
+
+from repro.clicklog.log import ClickLog
+from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
+from repro.matching.matcher import QueryMatcher
+from repro.matching.resolver import MatchResolver
+
+
+@pytest.fixture()
+def dictionary():
+    return SynonymDictionary(
+        [
+            DictionaryEntry("lyra quinn", "m1"),
+            DictionaryEntry("lyra quinn", "m2"),
+            DictionaryEntry("lyra quinn and the kingdom of the crystal skull", "m1", "canonical"),
+            DictionaryEntry("kingdom of the crystal skull", "m1"),
+            DictionaryEntry("lyra quinn 2 and the empire of the shattered crown", "m2", "canonical"),
+            DictionaryEntry("empire of the shattered crown", "m2"),
+        ]
+    )
+
+
+@pytest.fixture()
+def click_log():
+    return ClickLog.from_tuples(
+        [
+            # m2's strings carry much more traffic than m1's.
+            ("empire of the shattered crown", "https://a.example", 500),
+            ("lyra quinn 2 and the empire of the shattered crown", "https://a.example", 100),
+            ("kingdom of the crystal skull", "https://b.example", 40),
+        ]
+    )
+
+
+@pytest.fixture()
+def matcher(dictionary):
+    return QueryMatcher(dictionary, enable_fuzzy=False)
+
+
+class TestValidation:
+    def test_negative_context_weight_rejected(self, dictionary):
+        with pytest.raises(ValueError):
+            MatchResolver(dictionary, context_weight=-1.0)
+
+
+class TestPriors:
+    def test_prior_without_click_log_is_uniform(self, dictionary):
+        resolver = MatchResolver(dictionary)
+        assert resolver.prior("m1") == resolver.prior("m2") == 1.0
+
+    def test_prior_reflects_click_volume(self, dictionary, click_log):
+        resolver = MatchResolver(dictionary, click_log=click_log)
+        assert resolver.prior("m2") > resolver.prior("m1")
+
+    def test_prior_cached(self, dictionary, click_log):
+        resolver = MatchResolver(dictionary, click_log=click_log)
+        assert resolver.prior("m2") == resolver.prior("m2")
+
+
+class TestContextOverlap:
+    def test_context_tokens_disambiguate(self, dictionary):
+        resolver = MatchResolver(dictionary)
+        assert resolver.context_overlap("m1", "crystal skull showtimes") > resolver.context_overlap(
+            "m2", "crystal skull showtimes"
+        )
+
+    def test_empty_remainder_gives_zero(self, dictionary):
+        resolver = MatchResolver(dictionary)
+        assert resolver.context_overlap("m1", "") == 0.0
+
+    def test_stopword_only_remainder_gives_zero(self, dictionary):
+        resolver = MatchResolver(dictionary)
+        assert resolver.context_overlap("m1", "the of and") == 0.0
+
+
+class TestResolution:
+    def test_unambiguous_match_passes_through(self, dictionary, matcher):
+        resolver = MatchResolver(dictionary)
+        match = matcher.match("kingdom of the crystal skull")
+        assert resolver.resolve(match) == "m1"
+
+    def test_context_beats_popularity(self, dictionary, click_log, matcher):
+        resolver = MatchResolver(dictionary, click_log=click_log)
+        match = matcher.match("lyra quinn crystal skull")
+        assert match.entity_ids == {"m1", "m2"}
+        assert resolver.resolve(match) == "m1"
+
+    def test_popularity_breaks_contextless_ties(self, dictionary, click_log, matcher):
+        resolver = MatchResolver(dictionary, click_log=click_log)
+        match = matcher.match("lyra quinn")
+        assert resolver.resolve(match) == "m2"
+
+    def test_rank_is_sorted_and_complete(self, dictionary, click_log, matcher):
+        resolver = MatchResolver(dictionary, click_log=click_log)
+        ranked = resolver.rank(matcher.match("lyra quinn"))
+        assert {item.entity_id for item in ranked} == {"m1", "m2"}
+        scores = [item.score for item in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_resolve_unmatched_query(self, dictionary, matcher):
+        resolver = MatchResolver(dictionary)
+        assert resolver.resolve(matcher.match("nothing here")) is None

@@ -1,0 +1,71 @@
+"""Tests for BM25 scoring."""
+
+import pytest
+
+from repro.search.bm25 import BM25Parameters, BM25Scorer
+from repro.search.index import InvertedIndex
+
+
+@pytest.fixture()
+def scorer(mini_corpus):
+    return BM25Scorer(InvertedIndex.from_corpus(mini_corpus))
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        params = BM25Parameters()
+        assert params.k1 > 0 and 0 <= params.b <= 1
+
+    def test_invalid_k1(self):
+        with pytest.raises(ValueError):
+            BM25Parameters(k1=-0.1)
+
+    def test_invalid_b(self):
+        with pytest.raises(ValueError):
+            BM25Parameters(b=1.5)
+
+    def test_invalid_stopword_weight(self):
+        with pytest.raises(ValueError):
+            BM25Parameters(stopword_weight=2.0)
+
+
+class TestScoring:
+    def test_idf_positive_and_decreasing_with_df(self, scorer):
+        rare = scorer.idf("madagascar")   # document frequency 1
+        common = scorer.idf("indiana")    # document frequency 2
+        assert rare > common > 0.0
+
+    def test_idf_unseen_term_is_largest(self, scorer):
+        assert scorer.idf("unseenterm") >= scorer.idf("madagascar")
+
+    def test_matching_document_scores_highest(self, scorer):
+        scores = scorer.score_all(["madagascar", "escape", "africa"])
+        index = scorer.index
+        best_doc = max(scores, key=scores.get)
+        assert index.url_of(best_doc) == "https://studio.example.com/madagascar-2"
+
+    def test_no_match_returns_empty(self, scorer):
+        assert scorer.score_all(["zzzz"]) == {}
+
+    def test_empty_query_returns_empty(self, scorer):
+        assert scorer.score_all([]) == {}
+
+    def test_stopword_weight_zero_ignores_stopwords(self, mini_corpus):
+        index = InvertedIndex.from_corpus(mini_corpus)
+        weighted = BM25Scorer(index, BM25Parameters(stopword_weight=0.0))
+        assert weighted.score_all(["the", "of"]) == {}
+
+    def test_stopword_contribution_scaled_down(self, mini_corpus):
+        index = InvertedIndex.from_corpus(mini_corpus)
+        full = BM25Scorer(index, BM25Parameters(stopword_weight=1.0))
+        scaled = BM25Scorer(index, BM25Parameters(stopword_weight=0.25))
+        full_scores = full.score_all(["the"])
+        scaled_scores = scaled.score_all(["the"])
+        for doc_id, score in scaled_scores.items():
+            assert score < full_scores[doc_id]
+
+    def test_repeated_query_terms_accumulate(self, scorer):
+        single = scorer.score_all(["indiana"])
+        double = scorer.score_all(["indiana", "indiana"])
+        for doc_id in single:
+            assert double[doc_id] > single[doc_id]

@@ -1,0 +1,84 @@
+"""Tests for the search engine facade."""
+
+import pytest
+
+from repro.search.engine import SearchEngine, SearchResult, ensure_queries_are_strings
+
+
+class TestSearch:
+    def test_canonical_query_ranks_entity_pages_first(self, mini_engine):
+        results = mini_engine.search("indiana jones and the kingdom of the crystal skull")
+        assert results[0].url in {
+            "https://studio.example.com/indy-4",
+            "https://wiki.example.org/indy-4",
+        }
+        assert results[0].rank == 1
+
+    def test_ranks_are_sequential(self, mini_engine):
+        results = mini_engine.search("indiana jones", k=5)
+        assert [result.rank for result in results] == list(range(1, len(results) + 1))
+
+    def test_k_limits_results(self, mini_engine):
+        assert len(mini_engine.search("the", k=2)) <= 2
+
+    def test_invalid_k(self, mini_engine):
+        with pytest.raises(ValueError):
+            mini_engine.search("indy", k=0)
+
+    def test_empty_query_returns_nothing(self, mini_engine):
+        assert mini_engine.search("") == []
+        assert mini_engine.search("   !!!") == []
+
+    def test_out_of_vocabulary_query_returns_nothing(self, mini_engine):
+        assert mini_engine.search("zzzz qqqq") == []
+
+    def test_deterministic_tie_break(self, mini_engine):
+        first = mini_engine.search("indiana jones")
+        second = mini_engine.search("indiana jones")
+        assert first == second
+
+    def test_top_urls(self, mini_engine):
+        urls = mini_engine.top_urls("madagascar", k=3)
+        assert urls[0] == "https://studio.example.com/madagascar-2"
+
+    def test_page_accessor(self, mini_engine):
+        page = mini_engine.page("https://studio.example.com/indy-4")
+        assert page is not None and page.entity_id == "movie-indy4"
+        assert mini_engine.page("https://missing.example.com") is None
+
+    def test_scores_non_increasing(self, mini_engine):
+        results = mini_engine.search("indiana jones crystal skull", k=10)
+        scores = [result.score for result in results]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSearchData:
+    def test_build_search_data_shape(self, mini_engine):
+        queries = ["indiana jones", "madagascar escape 2 africa"]
+        data = mini_engine.build_search_data(queries, k=3)
+        assert all(isinstance(row, tuple) and len(row) == 3 for row in data)
+        assert all(rank <= 3 for _query, _url, rank in data)
+        assert {query for query, _url, _rank in data} == set(queries)
+
+    def test_document_count(self, mini_engine, mini_corpus):
+        assert mini_engine.document_count == len(mini_corpus)
+
+    def test_explain_contains_query_terms(self, mini_engine):
+        contributions = mini_engine.explain("indiana jones", "https://studio.example.com/indy-4")
+        assert set(contributions) <= {"indiana", "jones"}
+        assert all(value > 0 for value in contributions.values())
+
+    def test_explain_unknown_url(self, mini_engine):
+        assert mini_engine.explain("indiana", "https://missing.example.com") == {}
+
+
+class TestHelpers:
+    def test_search_result_is_frozen(self):
+        result = SearchResult(url="u", rank=1, score=1.0)
+        with pytest.raises(AttributeError):
+            result.rank = 2
+
+    def test_ensure_queries_are_strings(self):
+        assert ensure_queries_are_strings(["a", "b"]) == ["a", "b"]
+        with pytest.raises(TypeError):
+            ensure_queries_are_strings(["a", 3])

@@ -1,0 +1,126 @@
+"""Tests for the entity catalogs."""
+
+import pytest
+
+from repro.simulation.catalog import Entity, EntityCatalog, camera_catalog, movie_catalog
+
+
+class TestEntity:
+    def test_normalized_name(self):
+        entity = Entity(entity_id="e1", canonical_name="Canon EOS-350D", domain="camera")
+        assert entity.normalized_name == "canon eos 350d"
+
+    def test_popularity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Entity(entity_id="e", canonical_name="x", domain="movie", popularity=0.0)
+
+    def test_name_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            Entity(entity_id="e", canonical_name="   ", domain="movie")
+
+
+class TestEntityCatalog:
+    def test_duplicate_id_rejected(self):
+        catalog = EntityCatalog("movie")
+        catalog.add(Entity(entity_id="e1", canonical_name="A", domain="movie"))
+        with pytest.raises(ValueError, match="duplicate entity_id"):
+            catalog.add(Entity(entity_id="e1", canonical_name="B", domain="movie"))
+
+    def test_domain_mismatch_rejected(self):
+        catalog = EntityCatalog("movie")
+        with pytest.raises(ValueError, match="does not match catalog domain"):
+            catalog.add(Entity(entity_id="e1", canonical_name="A", domain="camera"))
+
+    def test_lookup(self):
+        entity = Entity(entity_id="e1", canonical_name="A", domain="movie")
+        catalog = EntityCatalog("movie", [entity])
+        assert catalog.get("e1") is entity
+        assert catalog["e1"] is entity
+        assert catalog.get("missing") is None
+        with pytest.raises(KeyError):
+            catalog["missing"]
+
+    def test_by_canonical_name(self):
+        catalog = EntityCatalog(
+            "movie", [Entity(entity_id="e1", canonical_name="The Film!", domain="movie")]
+        )
+        assert "the film" in catalog.by_canonical_name()
+
+
+class TestMovieCatalog:
+    def test_size(self):
+        assert len(movie_catalog(size=100)) == 100
+        assert len(movie_catalog(size=20)) == 20
+
+    def test_canonical_names_unique(self):
+        catalog = movie_catalog(size=100)
+        names = catalog.canonical_names()
+        assert len(set(names)) == len(names)
+
+    def test_deterministic_for_seed(self):
+        first = movie_catalog(size=50, seed=5).canonical_names()
+        second = movie_catalog(size=50, seed=5).canonical_names()
+        assert first == second
+
+    def test_different_seed_differs(self):
+        assert movie_catalog(size=50, seed=5).canonical_names() != movie_catalog(
+            size=50, seed=6
+        ).canonical_names()
+
+    def test_popularity_is_zipfian(self):
+        catalog = movie_catalog(size=30)
+        popularity = [entity.popularity for entity in catalog]
+        assert popularity[0] > popularity[10] > popularity[-1]
+
+    def test_franchise_titles_have_installments(self):
+        catalog = movie_catalog(size=100)
+        franchised = [entity for entity in catalog if entity.attributes.get("franchise")]
+        assert franchised, "expected at least one franchise movie"
+        installments = {int(entity.attributes["installment"]) for entity in franchised}
+        assert max(installments) >= 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            movie_catalog(size=0)
+
+
+class TestCameraCatalog:
+    def test_paper_size_default(self):
+        assert len(camera_catalog()) == 882
+
+    def test_names_unique(self):
+        catalog = camera_catalog(size=400)
+        names = catalog.canonical_names()
+        assert len(set(names)) == len(names)
+
+    def test_some_models_have_codenames(self):
+        catalog = camera_catalog(size=300)
+        with_codename = [e for e in catalog if e.attributes.get("codename")]
+        assert 0.2 < len(with_codename) / len(catalog) < 0.55
+
+    def test_codename_shares_no_tokens_with_canonical(self):
+        catalog = camera_catalog(size=300)
+        for entity in catalog:
+            codename = entity.attributes.get("codename")
+            if not codename:
+                continue
+            canonical_tokens = set(entity.normalized_name.split())
+            codename_tokens = set(codename.lower().split())
+            # The hard case of the paper: "Digital Rebel XT" vs "Canox EON 350D".
+            assert not (canonical_tokens & codename_tokens)
+
+    def test_cameras_less_popular_than_movies(self):
+        movies = movie_catalog(size=100)
+        cameras = camera_catalog(size=100)
+        top_movie = max(entity.popularity for entity in movies)
+        top_camera = max(entity.popularity for entity in cameras)
+        assert top_camera < top_movie
+
+    def test_deterministic_for_seed(self):
+        assert camera_catalog(size=100, seed=1).canonical_names() == camera_catalog(
+            size=100, seed=1
+        ).canonical_names()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            camera_catalog(size=-5)

@@ -1,0 +1,92 @@
+"""Tests for the simulated Wikipedia."""
+
+import pytest
+
+from repro.simulation.aliases import AliasKind, build_alias_table
+from repro.simulation.catalog import camera_catalog, movie_catalog
+from repro.simulation.wikipedia import (
+    CAMERA_WIKIPEDIA_CONFIG,
+    MOVIE_WIKIPEDIA_CONFIG,
+    SimulatedWikipedia,
+    WikipediaConfig,
+)
+
+
+class TestConfig:
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            WikipediaConfig(head_coverage=1.2)
+
+    def test_invalid_redirect_bounds(self):
+        with pytest.raises(ValueError):
+            WikipediaConfig(min_redirects=5, max_redirects=2)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            WikipediaConfig(popularity_exponent=0.0)
+
+
+class TestMovieCoverage:
+    @pytest.fixture(scope="class")
+    def wikipedia(self):
+        catalog = movie_catalog(size=100, seed=2)
+        table = build_alias_table(catalog, seed=2)
+        return SimulatedWikipedia.build(catalog, table, MOVIE_WIKIPEDIA_CONFIG), catalog, table
+
+    def test_high_coverage_for_movies(self, wikipedia):
+        wiki, catalog, _table = wikipedia
+        assert wiki.article_count / len(catalog) > 0.85
+
+    def test_redirects_are_true_synonyms(self, wikipedia):
+        wiki, catalog, table = wikipedia
+        for entity in catalog:
+            for redirect in wiki.redirects_for(entity.entity_id):
+                assert table.kind_of(redirect, entity.entity_id) is AliasKind.SYNONYM
+
+    def test_resolve_follows_redirects(self, wikipedia):
+        wiki, catalog, _table = wikipedia
+        covered = next(iter(wiki.covered_entities()))
+        redirect = wiki.redirects_for(covered)[0]
+        assert wiki.resolve(redirect) == covered
+
+    def test_resolve_unknown(self, wikipedia):
+        wiki, _catalog, _table = wikipedia
+        assert wiki.resolve("definitely not a redirect") is None
+
+    def test_kind_histogram_all_synonyms(self, wikipedia):
+        wiki, _catalog, table = wikipedia
+        histogram = wiki.kind_histogram(table)
+        assert set(histogram) == {AliasKind.SYNONYM}
+
+
+class TestCameraCoverage:
+    def test_low_coverage_for_cameras(self):
+        catalog = camera_catalog(size=882, seed=3)
+        table = build_alias_table(catalog, seed=3)
+        wiki = SimulatedWikipedia.build(catalog, table, CAMERA_WIKIPEDIA_CONFIG)
+        ratio = wiki.article_count / len(catalog)
+        assert 0.05 < ratio < 0.30
+
+    def test_coverage_biased_to_popular_entities(self):
+        catalog = camera_catalog(size=400, seed=3)
+        table = build_alias_table(catalog, seed=3)
+        wiki = SimulatedWikipedia.build(catalog, table, CAMERA_WIKIPEDIA_CONFIG)
+        ranked = sorted(catalog, key=lambda entity: -entity.popularity)
+        head = sum(1 for entity in ranked[:100] if entity.entity_id in wiki.covered_entities())
+        tail = sum(1 for entity in ranked[-100:] if entity.entity_id in wiki.covered_entities())
+        assert head > tail
+
+    def test_entry_for_uncovered_entity_is_none(self):
+        catalog = camera_catalog(size=100, seed=3)
+        table = build_alias_table(catalog, seed=3)
+        wiki = SimulatedWikipedia.build(catalog, table, CAMERA_WIKIPEDIA_CONFIG)
+        uncovered = [e for e in catalog if e.entity_id not in wiki.covered_entities()]
+        assert uncovered
+        assert wiki.entry_for(uncovered[0].entity_id) is None
+        assert wiki.redirects_for(uncovered[0].entity_id) == []
+
+    def test_default_config_chosen_by_domain(self):
+        catalog = camera_catalog(size=200, seed=3)
+        table = build_alias_table(catalog, seed=3)
+        default = SimulatedWikipedia.build(catalog, table)
+        assert default.article_count / len(catalog) < 0.5

@@ -1,0 +1,81 @@
+"""Tests for repro.storage.jsonl."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.clicklog.records import ClickRecord
+from repro.storage.jsonl import append_jsonl, read_jsonl, read_jsonl_as, write_jsonl
+
+
+@dataclass
+class _Row:
+    name: str
+    value: int
+
+
+class TestWriteRead:
+    def test_roundtrip_dicts(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        assert write_jsonl(path, rows) == 2
+        assert list(read_jsonl(path)) == rows
+
+    def test_roundtrip_dataclasses(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        records = [ClickRecord("indy 4", "https://example.com/a", 3)]
+        write_jsonl(path, records)
+        loaded = list(read_jsonl_as(path, ClickRecord))
+        assert loaded == records
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "deeper" / "rows.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        assert path.exists()
+
+    def test_append(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        append_jsonl(path, [{"a": 2}])
+        assert [row["a"] for row in read_jsonl(path)] == [1, 2]
+
+    def test_append_creates_file(self, tmp_path):
+        path = tmp_path / "fresh.jsonl"
+        assert append_jsonl(path, [{"a": 1}]) == 1
+        assert list(read_jsonl(path)) == [{"a": 1}]
+
+    def test_empty_write(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_jsonl(path, []) == 0
+        assert list(read_jsonl(path)) == []
+
+    def test_sets_and_tuples_serialised(self, tmp_path):
+        @dataclass
+        class WithCollections:
+            items: tuple
+            tags: frozenset
+
+        path = tmp_path / "coll.jsonl"
+        write_jsonl(path, [WithCollections(items=("a", "b"), tags=frozenset({"t2", "t1"}))])
+        (row,) = list(read_jsonl(path))
+        assert row["items"] == ["a", "b"]
+        assert sorted(row["tags"]) == ["t1", "t2"]
+
+
+class TestErrors:
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            list(read_jsonl(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blanks.jsonl"
+        path.write_text('{"a": 1}\n\n\n{"a": 2}\n', encoding="utf-8")
+        assert len(list(read_jsonl(path))) == 2
+
+    def test_read_as_rejects_schema_drift(self, tmp_path):
+        path = tmp_path / "drift.jsonl"
+        path.write_text('{"name": "x", "value": 1, "extra": true}\n', encoding="utf-8")
+        with pytest.raises(TypeError):
+            list(read_jsonl_as(path, _Row))

@@ -1,0 +1,87 @@
+"""Tests for the SQLite-backed log store."""
+
+import pytest
+
+from repro.storage.sqlite_store import LogDatabase
+
+
+@pytest.fixture()
+def database():
+    with LogDatabase() as db:
+        yield db
+
+
+class TestLifecycle:
+    def test_in_memory_by_default(self, database):
+        assert database.path is None
+
+    def test_on_disk_database(self, tmp_path):
+        path = tmp_path / "logs" / "data.db"
+        with LogDatabase(path) as db:
+            db.add_click_records([("indy 4", "https://a.example", 3)])
+        assert path.exists()
+        with LogDatabase(path) as reopened:
+            assert reopened.count("click_log") == 1
+
+    def test_context_manager_closes(self, tmp_path):
+        db = LogDatabase(tmp_path / "x.db")
+        with db:
+            pass
+        with pytest.raises(Exception):
+            db.count("click_log")
+
+
+class TestInsertAndQuery:
+    def test_search_results_ordered_by_rank(self, database):
+        database.add_search_records(
+            [("q", "https://b.example", 2), ("q", "https://a.example", 1)]
+        )
+        assert database.search_results("q") == [("https://a.example", 1), ("https://b.example", 2)]
+
+    def test_search_results_max_rank(self, database):
+        database.add_search_records(
+            [("q", "https://a.example", 1), ("q", "https://b.example", 5)]
+        )
+        assert database.search_results("q", max_rank=3) == [("https://a.example", 1)]
+
+    def test_clicks_for_query(self, database):
+        database.add_click_records([("indy 4", "https://a.example", 7)])
+        assert database.clicks_for_query("indy 4") == [("https://a.example", 7)]
+
+    def test_queries_clicking_url(self, database):
+        database.add_click_records(
+            [("indy 4", "https://a.example", 7), ("indiana jones", "https://a.example", 2)]
+        )
+        queries = dict(database.queries_clicking_url("https://a.example"))
+        assert queries == {"indy 4": 7, "indiana jones": 2}
+
+    def test_synonym_roundtrip(self, database):
+        database.add_synonym_records([("canonical title", "indy 4", 5, 0.9, 120)])
+        assert database.synonyms_for("canonical title") == [("indy 4", 5, 0.9, 120)]
+        assert list(database.iter_synonyms()) == [("canonical title", "indy 4", 5, 0.9, 120)]
+
+    def test_bulk_insert_empty_is_noop(self, database):
+        assert database.add_click_records([]) == 0
+        assert database.count("click_log") == 0
+
+    def test_iteration_matches_counts(self, database):
+        database.add_search_records([("q", "https://a.example", 1)])
+        database.add_click_records([("q", "https://a.example", 2), ("w", "https://b.example", 1)])
+        assert len(list(database.iter_search_log())) == database.count("search_log") == 1
+        assert len(list(database.iter_click_log())) == database.count("click_log") == 2
+
+
+class TestStatistics:
+    def test_distinct_queries(self, database):
+        database.add_click_records(
+            [("a", "https://x.example", 1), ("a", "https://y.example", 1), ("b", "https://x.example", 1)]
+        )
+        assert database.distinct_queries("click_log") == 2
+
+    def test_count_unknown_table_rejected(self, database):
+        with pytest.raises(ValueError, match="unknown table"):
+            database.count("users; DROP TABLE click_log")
+
+    def test_distinct_queries_unknown_table_rejected(self, database):
+        with pytest.raises(ValueError, match="unknown log table"):
+            database.distinct_queries("synonyms")

@@ -1,0 +1,46 @@
+"""Tests for the declarative table schemas."""
+
+from repro.storage.tables import (
+    CLICK_LOG_SCHEMA,
+    SEARCH_LOG_SCHEMA,
+    SYNONYM_SCHEMA,
+    ColumnSpec,
+    TableSchema,
+)
+
+
+class TestColumnSpec:
+    def test_render_with_constraints(self):
+        column = ColumnSpec("query", "TEXT", "NOT NULL")
+        assert column.render() == "query TEXT NOT NULL"
+
+    def test_render_without_constraints(self):
+        assert ColumnSpec("rank", "INTEGER").render() == "rank INTEGER"
+
+
+class TestTableSchema:
+    def test_create_statement(self):
+        schema = TableSchema(
+            name="example",
+            columns=(ColumnSpec("a", "TEXT"), ColumnSpec("b", "INTEGER")),
+        )
+        assert schema.create_statement() == (
+            "CREATE TABLE IF NOT EXISTS example (a TEXT, b INTEGER)"
+        )
+
+    def test_insert_statement_covers_all_columns(self):
+        statement = CLICK_LOG_SCHEMA.insert_statement()
+        assert statement.startswith("INSERT INTO click_log")
+        assert statement.count("?") == len(CLICK_LOG_SCHEMA.columns)
+
+    def test_index_statements(self):
+        statements = SEARCH_LOG_SCHEMA.index_statements()
+        assert len(statements) == len(SEARCH_LOG_SCHEMA.indexes)
+        assert all("CREATE INDEX IF NOT EXISTS" in statement for statement in statements)
+
+    def test_column_names(self):
+        assert SYNONYM_SCHEMA.column_names == ("canonical", "synonym", "ipc", "icr", "clicks")
+
+    def test_builtin_schemas_match_paper_tuples(self):
+        assert SEARCH_LOG_SCHEMA.column_names == ("query", "url", "rank")
+        assert CLICK_LOG_SCHEMA.column_names == ("query", "url", "clicks")

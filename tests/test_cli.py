@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.storage.jsonl import read_jsonl
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self, tmp_path):
+        args = build_parser().parse_args(["simulate", "--output", str(tmp_path)])
+        assert args.dataset == "toy"
+        assert args.command == "simulate"
+
+    def test_mine_thresholds(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "mine",
+                "--search", "s.jsonl", "--clicks", "c.jsonl", "--values", "v.txt",
+                "--output", "out.jsonl", "--ipc", "6", "--icr", "0.4",
+            ]
+        )
+        assert args.ipc == 6 and args.icr == pytest.approx(0.4)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestEndToEndWorkflow:
+    @pytest.fixture(scope="class")
+    def workdir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("cli")
+
+    @pytest.fixture(scope="class")
+    def simulated(self, workdir):
+        exit_code = main(
+            [
+                "simulate", "--dataset", "toy", "--entities", "10",
+                "--sessions", "3000", "--output", str(workdir / "logs"),
+            ]
+        )
+        assert exit_code == 0
+        return workdir / "logs"
+
+    def test_simulate_writes_all_artifacts(self, simulated):
+        for name in ("search_data.jsonl", "click_data.jsonl", "catalog.jsonl", "values.txt"):
+            assert (simulated / name).exists(), name
+        assert len(list(read_jsonl(simulated / "catalog.jsonl"))) == 10
+
+    @pytest.fixture(scope="class")
+    def mined(self, simulated, workdir):
+        output = workdir / "synonyms.jsonl"
+        exit_code = main(
+            [
+                "mine",
+                "--search", str(simulated / "search_data.jsonl"),
+                "--clicks", str(simulated / "click_data.jsonl"),
+                "--values", str(simulated / "values.txt"),
+                "--output", str(output),
+                "--database", str(workdir / "synonyms.db"),
+                "--ipc", "3", "--icr", "0.1",
+            ]
+        )
+        assert exit_code == 0
+        return output
+
+    def test_mine_produces_synonym_rows(self, mined):
+        rows = list(read_jsonl(mined))
+        assert rows, "expected at least one mined synonym"
+        assert {"canonical", "synonym", "ipc", "icr", "clicks"} <= set(rows[0])
+        assert all(row["ipc"] >= 3 for row in rows)
+
+    def test_mine_persists_database(self, mined, workdir):
+        from repro.storage.sqlite_store import LogDatabase
+
+        with LogDatabase(workdir / "synonyms.db") as database:
+            assert database.count("synonyms") == len(list(read_jsonl(mined)))
+
+    def test_match_resolves_mined_synonym(self, mined, capsys):
+        rows = list(read_jsonl(mined))
+        query = rows[0]["synonym"]
+        exit_code = main(["match", "--synonyms", str(mined), query])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert payload["matched"] is True
+        assert rows[0]["canonical"] in payload["entities"]
+
+    def test_match_reports_unmatched_query(self, mined, capsys):
+        exit_code = main(["match", "--synonyms", str(mined), "--no-fuzzy", "zzz unmatched zzz"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["matched"] is False
+        assert payload["entities"] == []
+
+    def test_match_reads_queries_from_stdin(self, mined, capsys, monkeypatch):
+        import io
+
+        rows = list(read_jsonl(mined))
+        monkeypatch.setattr("sys.stdin", io.StringIO(rows[0]["synonym"] + "\n"))
+        assert main(["match", "--synonyms", str(mined)]) == 0
+        assert json.loads(capsys.readouterr().out.strip())["matched"] is True

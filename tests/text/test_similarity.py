@@ -1,0 +1,136 @@
+"""Tests for repro.text.similarity."""
+
+import math
+
+import pytest
+
+from repro.text.similarity import (
+    cosine_ngram_similarity,
+    damerau_levenshtein_distance,
+    dice_coefficient,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    longest_common_subsequence,
+    token_containment,
+    token_sort_ratio,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("kitten", "kitten") == 0
+
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_empty_strings(self):
+        assert levenshtein_distance("", "") == 0
+        assert levenshtein_distance("abc", "") == 3
+        assert levenshtein_distance("", "abcd") == 4
+
+    def test_symmetric(self):
+        assert levenshtein_distance("indy", "indiana") == levenshtein_distance("indiana", "indy")
+
+    def test_similarity_range(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_similarity_partial(self):
+        assert math.isclose(levenshtein_similarity("abcd", "abce"), 0.75)
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_counts_once(self):
+        assert damerau_levenshtein_distance("ca", "ac") == 1
+        assert levenshtein_distance("ca", "ac") == 2
+
+    def test_identical(self):
+        assert damerau_levenshtein_distance("same", "same") == 0
+
+    def test_empty(self):
+        assert damerau_levenshtein_distance("", "abc") == 3
+
+    def test_never_exceeds_levenshtein(self):
+        pairs = [("abcdef", "badcfe"), ("indy", "inyd"), ("rebel", "reble")]
+        for a, b in pairs:
+            assert damerau_levenshtein_distance(a, b) <= levenshtein_distance(a, b)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert math.isclose(jaro_similarity("martha", "marhta"), 0.9444, abs_tol=1e-3)
+
+    def test_no_overlap(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_winkler_boosts_common_prefix(self):
+        plain = jaro_similarity("prefixed", "prefixes")
+        winkler = jaro_winkler_similarity("prefixed", "prefixes")
+        assert winkler >= plain
+
+    def test_winkler_known_value(self):
+        assert math.isclose(
+            jaro_winkler_similarity("martha", "marhta"), 0.9611, abs_tol=1e-3
+        )
+
+    def test_winkler_invalid_weight(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.5)
+
+
+class TestSetSimilarities:
+    def test_jaccard(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_jaccard_identical_and_empty(self):
+        assert jaccard_similarity({"a"}, {"a"}) == 1.0
+        assert jaccard_similarity(set(), set()) == 1.0
+
+    def test_dice(self):
+        assert dice_coefficient({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_token_containment_asymmetric(self):
+        assert token_containment(["indy", "4"], ["indy", "4", "trailer"]) == 1.0
+        assert token_containment(["indy", "4", "trailer"], ["indy", "4"]) == pytest.approx(2 / 3)
+
+    def test_token_containment_empty_needle(self):
+        assert token_containment([], ["a"]) == 0.0
+
+
+class TestCosineNgram:
+    def test_identical(self):
+        assert cosine_ngram_similarity("rebel xt", "rebel xt") == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert cosine_ngram_similarity("aaaa", "zzzz") == 0.0
+
+    def test_bounds(self):
+        value = cosine_ngram_similarity("digital rebel", "digital rebel xt")
+        assert 0.0 < value < 1.0
+
+
+class TestSequenceHelpers:
+    def test_lcs(self):
+        assert longest_common_subsequence("abcde", "ace") == 3
+
+    def test_lcs_empty(self):
+        assert longest_common_subsequence("", "abc") == 0
+
+    def test_lcs_on_token_lists(self):
+        assert longest_common_subsequence(["a", "b", "c"], ["a", "c"]) == 2
+
+    def test_token_sort_ratio_reorders(self):
+        assert token_sort_ratio("rebel digital xt", "digital rebel xt") == 1.0
+
+    def test_token_sort_ratio_different_strings(self):
+        assert token_sort_ratio("canon eos", "nikon d90") < 0.6

@@ -1,0 +1,71 @@
+"""Tests for the Porter stemmer."""
+
+import pytest
+
+from repro.text.stem import PorterStemmer, stem, stem_tokens
+
+
+KNOWN_PAIRS = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubling", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("falling", "fall"),
+    ("happy", "happi"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("vietnamization", "vietnam"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("hopefulness", "hope"),
+    ("formality", "formal"),
+    ("sensibility", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("effective", "effect"),
+    ("probate", "probat"),
+    ("controlling", "control"),
+    ("cameras", "camera"),
+    ("movies", "movi"),
+]
+
+
+class TestPorterStemmer:
+    @pytest.mark.parametrize("word,expected", KNOWN_PAIRS)
+    def test_known_stems(self, word, expected):
+        assert stem(word) == expected
+
+    def test_short_words_untouched(self):
+        assert stem("by") == "by"
+        assert stem("is") == "is"
+
+    def test_non_alpha_untouched(self):
+        assert stem("350d") == "350d"
+        assert stem("x264") == "x264"
+
+    def test_instance_and_module_function_agree(self):
+        stemmer = PorterStemmer()
+        for word, _expected in KNOWN_PAIRS:
+            assert stemmer.stem(word) == stem(word)
+
+    def test_stem_tokens_preserves_order_and_length(self):
+        tokens = ["running", "cameras", "quickly"]
+        stemmed = stem_tokens(tokens)
+        assert len(stemmed) == len(tokens)
+        assert stemmed[0] == stem("running")
+
+    def test_stemming_conflates_inflections(self):
+        assert stem("walking") == stem("walked") == stem("walks")

@@ -1,0 +1,26 @@
+"""Tests for repro.text.stopwords."""
+
+from repro.text.stopwords import STOPWORDS, content_tokens, is_stopword, remove_stopwords
+
+
+class TestStopwords:
+    def test_common_words_present(self):
+        for word in ("the", "and", "of", "a"):
+            assert word in STOPWORDS
+
+    def test_is_stopword(self):
+        assert is_stopword("the")
+        assert not is_stopword("indiana")
+
+    def test_remove_stopwords_preserves_order(self):
+        tokens = ["the", "kingdom", "of", "the", "crystal", "skull"]
+        assert remove_stopwords(tokens) == ["kingdom", "crystal", "skull"]
+
+    def test_remove_stopwords_keeps_duplicates_of_content_words(self):
+        assert remove_stopwords(["new", "new", "the"]) == ["new", "new"]
+
+    def test_content_tokens_fallback_when_all_stopwords(self):
+        assert content_tokens(["the", "of"]) == ["the", "of"]
+
+    def test_content_tokens_normal_case(self):
+        assert content_tokens(["the", "skull"]) == ["skull"]

@@ -1,0 +1,74 @@
+"""Tests for repro.text.tokenize."""
+
+import pytest
+
+from repro.text.tokenize import char_ngrams, ngrams, token_set, tokenize, word_positions
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize("Indiana Jones 4") == ["indiana", "jones", "4"]
+
+    def test_model_numbers_stay_joined(self):
+        assert tokenize("Canon EOS-350D") == ["canon", "eos", "350d"]
+
+    def test_already_normalized_flag(self):
+        assert tokenize("canon eos 350d", normalized=True) == ["canon", "eos", "350d"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_punctuation_only(self):
+        assert tokenize("!!! --- ???") == []
+
+
+class TestTokenSet:
+    def test_deduplicates(self):
+        assert token_set("the the the movie") == frozenset({"the", "movie"})
+
+    def test_is_frozenset(self):
+        assert isinstance(token_set("a b"), frozenset)
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_window_equal_to_length(self):
+        assert list(ngrams(["a", "b"], 2)) == [("a", "b")]
+
+    def test_window_longer_than_input(self):
+        assert list(ngrams(["a"], 3)) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+
+class TestCharNgrams:
+    def test_padded_grams(self):
+        assert char_ngrams("ab", 3) == ["^ab", "ab$"]
+
+    def test_unpadded_exact_length(self):
+        assert char_ngrams("abc", 3, pad=False) == ["abc"]
+
+    def test_short_string_returns_whole(self):
+        assert char_ngrams("a", 3, pad=False) == ["a"]
+
+    def test_empty_string_unpadded(self):
+        assert char_ngrams("", 3, pad=False) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", 0)
+
+
+class TestWordPositions:
+    def test_positions_recorded(self):
+        positions = word_positions("to be or not to be")
+        assert positions["to"] == [0, 4]
+        assert positions["be"] == [1, 5]
+        assert positions["or"] == [2]
+
+    def test_empty(self):
+        assert word_positions("") == {}
