@@ -8,6 +8,8 @@ Python:
   pipeline would produce);
 * ``mine``        — run the two-phase miner over JSONL logs and write the
   expanded dictionary as JSONL (and optionally into a SQLite database);
+  ``--workers N`` switches to the sharded batch miner with a shared
+  profile cache (``--shard-size``, ``--backend`` tune the pool);
 * ``match``       — match live queries (arguments or stdin) against a
   mined dictionary;
 * ``experiments`` — regenerate Figure 2, Figure 3 and Table I as text.
@@ -25,6 +27,7 @@ from typing import Sequence
 
 from repro.clicklog.log import ClickLog, SearchLog
 from repro.clicklog.records import ClickRecord, SearchRecord
+from repro.core.batch import BatchMiner
 from repro.core.config import MinerConfig
 from repro.core.pipeline import SynonymMiner
 from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
@@ -39,6 +42,13 @@ __all__ = ["main", "build_parser"]
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
@@ -69,6 +79,19 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--top-k", type=int, default=10, help="surrogate top-k cut-off")
     mine.add_argument("--output", type=Path, required=True, help="output synonyms JSONL")
     mine.add_argument("--database", type=Path, default=None, help="also persist into this SQLite file")
+    mine.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="mine with the sharded batch miner using this many workers "
+             "(omit for the classic serial miner)",
+    )
+    mine.add_argument(
+        "--shard-size", type=_positive_int, default=None,
+        help="entities per shard for --workers (default: ~4 shards per worker)",
+    )
+    mine.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default=None,
+        help="worker pool backend for --workers (default: thread)",
+    )
 
     match = subparsers.add_parser("match", help="match live queries against a mined dictionary")
     match.add_argument("--synonyms", type=Path, required=True, help="synonyms JSONL from `mine`")
@@ -140,8 +163,28 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         if line.strip()
     ]
     config = MinerConfig(surrogate_k=args.top_k, ipc_threshold=args.ipc, icr_threshold=args.icr)
-    miner = SynonymMiner(click_log=click_log, search_log=search_log, config=config)
-    result = miner.mine(values)
+    if args.workers is None and (args.shard_size is not None or args.backend is not None):
+        raise SystemExit("repro mine: error: --shard-size/--backend require --workers")
+    batch_note = ""
+    if args.workers is not None:
+        batch = BatchMiner(
+            click_log=click_log,
+            search_log=search_log,
+            config=config,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            backend=args.backend or "thread",
+        )
+        result = batch.mine(values)
+        stats = batch.last_run_stats
+        if stats is not None:
+            batch_note = (
+                f" [{stats.backend} x{stats.workers}, {stats.shard_count} shards, "
+                f"profile cache hit rate {stats.cache.hit_rate:.0%}]"
+            )
+    else:
+        miner = SynonymMiner(click_log=click_log, search_log=search_log, config=config)
+        result = miner.mine(values)
 
     rows = [
         {
@@ -157,10 +200,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     write_jsonl(args.output, rows)
     if args.database is not None:
         with LogDatabase(args.database) as database:
-            miner.store(result, database)
+            SynonymMiner.store(result, database)
     print(
         f"mined {result.synonym_count} synonyms for {result.hit_count}/{len(result)} values "
-        f"-> {args.output}"
+        f"-> {args.output}{batch_note}"
     )
     return 0
 

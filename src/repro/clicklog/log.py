@@ -14,11 +14,36 @@ ask, all in O(1) dictionary lookups after aggregation:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, NamedTuple
 
 from repro.clicklog.records import ClickRecord, ImpressionRecord, SearchRecord
 
-__all__ = ["ClickLog", "SearchLog"]
+__all__ = ["ClickLog", "SearchLog", "CandidateProfile", "ClickLogSnapshot"]
+
+
+@dataclass(frozen=True)
+class CandidateProfile:
+    """Everything candidate selection needs to know about one query.
+
+    ``clicked_urls`` is ``G_L(query, P)`` (Eq. 2), ``total_clicks`` the ICR
+    denominator and ``clicks_by_url`` the per-URL numerator terms.  Scoring a
+    candidate against any surrogate set only reads this triple, which is what
+    makes it worth memoizing when the same candidate recurs across entities.
+    """
+
+    query: str
+    clicked_urls: frozenset[str]
+    total_clicks: int
+    clicks_by_url: Mapping[str, int]
+
+
+class ClickLogSnapshot(NamedTuple):
+    """A detached copy of a :class:`ClickLog`'s aggregated state."""
+
+    clicks: dict[str, dict[str, int]]
+    url_to_queries: dict[str, set[str]]
+    query_totals: dict[str, int]
 
 
 class SearchLog:
@@ -26,26 +51,41 @@ class SearchLog:
 
     def __init__(self, records: Iterable[SearchRecord] = ()) -> None:
         self._results: dict[str, list[tuple[int, str]]] = defaultdict(list)
+        # Per-query sorted views; invalidated per-query by add().  top_urls()
+        # sits on the per-entity refresh hot path, so re-sorting an unchanged
+        # ranking on every call is wasted work.
+        self._sorted: dict[str, list[tuple[int, str]]] = {}
         for record in records:
             self.add(record)
 
     def add(self, record: SearchRecord) -> None:
         """Add one ⟨q, p, r⟩ tuple."""
         self._results[record.query].append((record.rank, record.url))
+        self._sorted.pop(record.query, None)
 
     @classmethod
     def from_tuples(cls, tuples: Iterable[tuple[str, str, int]]) -> "SearchLog":
         """Build from raw (query, url, rank) tuples."""
         return cls(SearchRecord(query, url, rank) for query, url, rank in tuples)
 
+    def _ranked(self, query: str) -> list[tuple[int, str]]:
+        """The (rank, url) list of *query* in rank order, cached until add()."""
+        cached = self._sorted.get(query)
+        if cached is None:
+            if query not in self._results:
+                return []
+            cached = sorted(self._results[query])
+            self._sorted[query] = cached
+        return cached
+
     def top_urls(self, query: str, *, k: int | None = None) -> list[str]:
         """URLs for *query* in rank order, optionally truncated to rank ≤ k.
 
         This is exactly G_A(query, P) from Eq. 1 of the paper.
         """
-        ranked = sorted(self._results.get(query, ()))
+        ranked = self._ranked(query)
         if k is not None:
-            ranked = [(rank, url) for rank, url in ranked if rank <= k]
+            return [url for rank, url in ranked if rank <= k]
         return [url for _rank, url in ranked]
 
     def queries(self) -> list[str]:
@@ -60,8 +100,8 @@ class SearchLog:
 
     def iter_records(self) -> Iterator[SearchRecord]:
         """Yield every stored record (query order, then rank order)."""
-        for query, ranked in self._results.items():
-            for rank, url in sorted(ranked):
+        for query in self._results:
+            for rank, url in self._ranked(query):
                 yield SearchRecord(query, url, rank)
 
 
@@ -127,6 +167,35 @@ class ClickLog:
     def clicks_by_url(self, query: str) -> Mapping[str, int]:
         """The {url: clicks} map of *query* (read-only view semantics)."""
         return dict(self._clicks.get(query, {}))
+
+    def candidate_profile(self, query: str) -> CandidateProfile:
+        """Materialise the full scoring view of *query*.
+
+        A live log recomputes the profile on every call (the log may have
+        mutated since the last one); :class:`~repro.core.batch.FrozenClickIndex`
+        provides the memoizing counterpart for batch runs.
+        """
+        per_query = self._clicks.get(query, {})
+        return CandidateProfile(
+            query=query,
+            clicked_urls=frozenset(per_query),
+            total_clicks=self._query_totals.get(query, 0),
+            clicks_by_url=dict(per_query),
+        )
+
+    def snapshot(self) -> ClickLogSnapshot:
+        """Copy the aggregated state out of the log.
+
+        The copy is one level deep (fresh per-query dicts and per-URL sets),
+        so later :meth:`add` calls on this log cannot leak into consumers of
+        the snapshot — the contract :class:`~repro.core.batch.FrozenClickIndex`
+        relies on.
+        """
+        return ClickLogSnapshot(
+            clicks={query: dict(per_query) for query, per_query in self._clicks.items()},
+            url_to_queries={url: set(queries) for url, queries in self._url_to_queries.items()},
+            query_totals=dict(self._query_totals),
+        )
 
     # ------------------------------------------------------------------ #
     # Whole-log iteration and statistics

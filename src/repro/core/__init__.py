@@ -26,8 +26,22 @@ from repro.core.classification import (
     RelationThresholds,
 )
 from repro.core.incremental import IncrementalSynonymMiner
+from repro.core.batch import (
+    BatchMiner,
+    BatchProgress,
+    BatchRunStats,
+    CacheStats,
+    FrozenClickIndex,
+    mine_entity,
+)
 
 __all__ = [
+    "BatchMiner",
+    "BatchProgress",
+    "BatchRunStats",
+    "CacheStats",
+    "FrozenClickIndex",
+    "mine_entity",
     "MinerConfig",
     "SynonymCandidate",
     "EntitySynonyms",

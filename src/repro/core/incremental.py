@@ -22,20 +22,31 @@ entities whose traffic actually moved.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.clicklog.log import ClickLog, SearchLog
 from repro.clicklog.records import ClickRecord, SearchRecord
+from repro.core.batch import BatchMiner
 from repro.core.config import MinerConfig
 from repro.core.pipeline import SynonymMiner
-from repro.core.types import MiningResult
+from repro.core.types import EntitySynonyms, MiningResult
 from repro.text.normalize import normalize
 
 __all__ = ["IncrementalSynonymMiner"]
 
 
 class IncrementalSynonymMiner:
-    """Maintains an up-to-date :class:`MiningResult` under log updates."""
+    """Maintains an up-to-date :class:`MiningResult` under log updates.
+
+    Parameters
+    ----------
+    batch_threshold:
+        When a refresh has at least this many dirty entities it is routed
+        through :class:`~repro.core.batch.BatchMiner` (shared profile cache,
+        optional worker pool) instead of the per-entity serial loop.
+    batch_workers / batch_backend:
+        Pool shape for those large refreshes (see :class:`BatchMiner`).
+    """
 
     def __init__(
         self,
@@ -43,13 +54,26 @@ class IncrementalSynonymMiner:
         search_log: SearchLog,
         click_log: ClickLog | None = None,
         config: MinerConfig | None = None,
+        batch_threshold: int = 64,
+        batch_workers: int | None = None,
+        batch_backend: str = "thread",
     ) -> None:
+        if batch_threshold < 1:
+            raise ValueError(f"batch_threshold must be >= 1, got {batch_threshold}")
         self.config = config or MinerConfig()
+        self.batch_threshold = batch_threshold
+        self.batch_workers = batch_workers
+        self.batch_backend = batch_backend
         self.search_log = search_log
         self.click_log = click_log if click_log is not None else ClickLog()
         self._tracked: list[str] = []
         self._url_to_values: dict[str, set[str]] = {}
         self._candidate_to_values: dict[str, set[str]] = {}
+        # Reverse edges of _candidate_to_values: which candidate queries each
+        # entity currently depends on.  Keeping both directions makes the
+        # stale-edge sweep in refresh() O(entity's own candidates) instead of
+        # O(dirty × whole candidate map).
+        self._value_to_candidates: dict[str, set[str]] = {}
         self._dirty: set[str] = set()
         self._result = MiningResult()
 
@@ -130,25 +154,57 @@ class IncrementalSynonymMiner:
     # ------------------------------------------------------------------ #
 
     def refresh(self) -> list[str]:
-        """Re-mine every dirty entity and return the list of refreshed values."""
+        """Re-mine every dirty entity and return the list of refreshed values.
+
+        Small dirty sets are re-mined serially; once the dirty set reaches
+        ``batch_threshold`` the refresh is a batch job and goes through
+        :class:`BatchMiner` so shared candidates are profiled once.
+        """
         if not self._dirty:
             return []
-        miner = SynonymMiner(
-            click_log=self.click_log, search_log=self.search_log, config=self.config
-        )
         refreshed = sorted(self._dirty)
         for canonical in refreshed:
             # Drop stale candidate-dependency edges for this entity before
             # re-mining; they are rebuilt from the fresh candidate list.
-            for dependents in self._candidate_to_values.values():
-                dependents.discard(canonical)
-            entry = miner.mine_one(canonical)
+            self._drop_candidate_edges(canonical)
+        for entry in self._mine_refreshed(refreshed):
+            canonical = entry.canonical
             self._result.add(entry)
             self._index_surrogates(canonical)
-            for candidate in entry.candidates:
-                self._candidate_to_values.setdefault(candidate.query, set()).add(canonical)
+            depends_on = {candidate.query for candidate in entry.candidates}
+            self._value_to_candidates[canonical] = depends_on
+            for candidate in depends_on:
+                self._candidate_to_values.setdefault(candidate, set()).add(canonical)
         self._dirty.clear()
         return refreshed
+
+    def _drop_candidate_edges(self, canonical: str) -> None:
+        """Remove *canonical* from the dependency edges it currently holds."""
+        for candidate in self._value_to_candidates.pop(canonical, ()):
+            dependents = self._candidate_to_values.get(candidate)
+            if dependents is None:
+                continue
+            dependents.discard(canonical)
+            if not dependents:
+                del self._candidate_to_values[candidate]
+
+    def _mine_refreshed(self, refreshed: list[str]) -> Iterator[EntitySynonyms]:
+        if len(refreshed) >= self.batch_threshold:
+            batch = BatchMiner(
+                click_log=self.click_log,
+                search_log=self.search_log,
+                config=self.config,
+                workers=self.batch_workers,
+                backend=self.batch_backend,
+            )
+            return batch.mine_iter(refreshed)
+        # Small dirty sets read the live logs directly: snapshotting the
+        # whole log to re-mine a handful of entities would make refresh cost
+        # O(log size) — the exact regression this class exists to avoid.
+        miner = SynonymMiner(
+            click_log=self.click_log, search_log=self.search_log, config=self.config
+        )
+        return (miner.mine_one(canonical) for canonical in refreshed)
 
     def refresh_all(self) -> list[str]:
         """Force a full re-mine of every tracked value."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.clicklog.log import ClickLog, SearchLog
+from repro.core.batch import FrozenClickIndex, mine_entity
 from repro.core.candidates import CandidateGenerator
 from repro.core.config import MinerConfig
 from repro.core.selection import CandidateScorer, CandidateSelector
@@ -55,6 +56,9 @@ class SynonymMiner:
         config: MinerConfig | None = None,
     ) -> None:
         self.config = config or MinerConfig()
+        self.click_log = click_log
+        self._search_log = search_log
+        self._engine = engine
         self.surrogate_finder = SurrogateFinder(
             search_log=search_log, engine=engine, k=self.config.surrogate_k
         )
@@ -71,28 +75,71 @@ class SynonymMiner:
     # Mining
     # ------------------------------------------------------------------ #
 
-    def mine_one(self, value: str) -> EntitySynonyms:
-        """Run both phases for a single input string ``u``."""
-        canonical = normalize(value)
-        surrogates = self.surrogate_finder.surrogates(canonical)
-        surrogate_set = set(surrogates)
-        candidates = self.candidate_generator.candidates_for(canonical, surrogate_set)
-        if self.config.exclude_canonical:
-            candidates.discard(canonical)
-        scored = self.scorer.score_all(candidates, surrogate_set)
-        selected = self.selector.select(scored)
-        return EntitySynonyms(
-            canonical=canonical,
-            surrogates=surrogates,
-            candidates=scored,
-            selected=selected,
+    def build_index(self, *, memoize: bool = True) -> FrozenClickIndex | None:
+        """Snapshot this miner's logs into a :class:`FrozenClickIndex`.
+
+        Returns ``None`` when the miner is backed by a live engine (the
+        index can only freeze materialised Search Data, and dropping the
+        engine fallback would change results).
+        """
+        if self._engine is not None or self._search_log is None:
+            return None
+        return FrozenClickIndex.from_logs(
+            self.click_log,
+            self._search_log,
+            surrogate_k=self.config.surrogate_k,
+            memoize=memoize,
         )
 
+    def mine_one(
+        self, value: str, *, index: FrozenClickIndex | None = None
+    ) -> EntitySynonyms:
+        """Run both phases for a single input string ``u``.
+
+        When *index* is given, surrogates and click profiles are read from
+        that frozen snapshot instead of the live logs — this is how
+        :meth:`mine` and the batch/incremental miners share both the data
+        view and the single :func:`~repro.core.batch.mine_entity`
+        implementation.
+        """
+        canonical = normalize(value)
+        if index is not None:
+            source = index
+            surrogates = index.surrogates(canonical)
+        else:
+            source = self.click_log
+            surrogates = self.surrogate_finder.surrogates(canonical)
+        return mine_entity(
+            canonical,
+            source=source,
+            surrogates=surrogates,
+            config=self.config,
+            selector=self.selector,
+        )
+
+    # Below this many values, snapshotting the logs into an index costs more
+    # than it buys; mine() reads the live logs instead (same implementation,
+    # same results either way).
+    _INDEX_THRESHOLD = 32
+
     def mine(self, values: Iterable[str]) -> MiningResult:
-        """Run the miner over a whole input set U."""
+        """Run the miner over a whole input set U.
+
+        For catalog-sized inputs the serial path snapshots the logs into a
+        (non-memoizing) frozen index so it runs the exact implementation the
+        sharded :class:`~repro.core.batch.BatchMiner` runs; use the batch
+        miner when you want the cross-entity profile cache and a worker
+        pool.
+        """
+        values = list(values)
+        index = (
+            self.build_index(memoize=False)
+            if len(values) >= self._INDEX_THRESHOLD
+            else None
+        )
         result = MiningResult()
         for value in values:
-            result.add(self.mine_one(value))
+            result.add(self.mine_one(value, index=index))
         return result
 
     # ------------------------------------------------------------------ #
@@ -127,10 +174,13 @@ class SynonymMiner:
     # Persistence
     # ------------------------------------------------------------------ #
 
-    def store(self, result: MiningResult, database: LogDatabase) -> int:
+    @staticmethod
+    def store(result: MiningResult, database: LogDatabase) -> int:
         """Persist the selected synonyms of *result* into *database*.
 
         Returns the number of rows written to the ``synonyms`` table.
+        (A static method: results from the batch miner can be stored the
+        same way without constructing a serial miner.)
         """
         rows: list[tuple[str, str, int, float, int]] = []
         for entry in result:

@@ -23,17 +23,34 @@ The final synonyms are the candidates with ``IPC ≥ β`` and ``ICR ≥ γ``.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Protocol
 
-from repro.clicklog.log import ClickLog
+from repro.clicklog.log import CandidateProfile
 from repro.core.types import SynonymCandidate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.clicklog.log import ClickLog
 
 __all__ = [
     "intersecting_page_count",
     "intersecting_click_ratio",
+    "score_profile",
+    "ProfileSource",
     "CandidateScorer",
     "CandidateSelector",
 ]
+
+
+class ProfileSource(Protocol):
+    """Anything that can materialise a candidate's scoring profile.
+
+    Both the live :class:`~repro.clicklog.log.ClickLog` (fresh profile per
+    call) and the batch :class:`~repro.core.batch.FrozenClickIndex`
+    (memoized profiles) satisfy this, which is what lets the serial and the
+    sharded miners share one scoring implementation.
+    """
+
+    def candidate_profile(self, query: str) -> CandidateProfile: ...
 
 
 def intersecting_page_count(clicked_urls: set[str], surrogates: set[str]) -> int:
@@ -59,27 +76,46 @@ def intersecting_click_ratio(
     return intersecting / total
 
 
-class CandidateScorer:
-    """Computes the (IPC, ICR, clicks) triple of candidates from the click log."""
+def score_profile(profile: CandidateProfile, surrogates: set[str]) -> SynonymCandidate:
+    """Score one candidate profile against one surrogate set.
 
-    def __init__(self, click_log: ClickLog) -> None:
+    This is the single scoring implementation shared by the serial miner and
+    the batch miner: IPC is the intersection size (Eq. 3), ICR the clicks
+    landing inside the intersection over the candidate's total volume
+    (Eq. 4).  All sums are over ints, so the result is bit-identical no
+    matter which path (or worker) computed it.
+    """
+    intersection = profile.clicked_urls & surrogates
+    intersecting_urls = tuple(sorted(intersection))
+    ipc = len(intersection)
+    if profile.total_clicks == 0:
+        icr = 0.0
+    else:
+        clicks_by_url = profile.clicks_by_url
+        icr = sum(clicks_by_url[url] for url in intersecting_urls) / profile.total_clicks
+    return SynonymCandidate(
+        query=profile.query,
+        ipc=ipc,
+        icr=icr,
+        clicks=profile.total_clicks,
+        intersecting_urls=intersecting_urls,
+    )
+
+
+class CandidateScorer:
+    """Computes the (IPC, ICR, clicks) triple of candidates from a profile source.
+
+    *click_log* may be a live :class:`~repro.clicklog.log.ClickLog` or any
+    other :class:`ProfileSource` (e.g. a memoizing
+    :class:`~repro.core.batch.FrozenClickIndex`).
+    """
+
+    def __init__(self, click_log: "ClickLog | ProfileSource") -> None:
         self.click_log = click_log
 
     def score(self, candidate: str, surrogates: set[str]) -> SynonymCandidate:
         """Score one candidate query against one surrogate set."""
-        clicks_by_url = self.click_log.clicks_by_url(candidate)
-        clicked_urls = set(clicks_by_url)
-        intersection = clicked_urls & surrogates
-        ipc = len(intersection)
-        icr = intersecting_click_ratio(clicks_by_url, surrogates)
-        total_clicks = sum(clicks_by_url.values())
-        return SynonymCandidate(
-            query=candidate,
-            ipc=ipc,
-            icr=icr,
-            clicks=total_clicks,
-            intersecting_urls=tuple(sorted(intersection)),
-        )
+        return score_profile(self.click_log.candidate_profile(candidate), surrogates)
 
     def score_all(
         self, candidates: Iterable[str], surrogates: set[str]

@@ -91,3 +91,38 @@ class TestClickLog:
     def test_contains(self, mini_click_log):
         assert "indy 4" in mini_click_log
         assert "unseen" not in mini_click_log
+
+
+class TestSearchLogSortedCache:
+    """top_urls() serves a cached sorted view, invalidated per-query by add()."""
+
+    def test_repeated_calls_are_consistent(self, mini_search_log):
+        canonical = "indiana jones and the kingdom of the crystal skull"
+        first = mini_search_log.top_urls(canonical)
+        assert mini_search_log.top_urls(canonical) == first
+        assert mini_search_log.top_urls(canonical) is not first  # fresh list
+
+    def test_add_invalidates_cached_view(self):
+        log = SearchLog.from_tuples([("q", "u2", 2), ("q", "u3", 3)])
+        assert log.top_urls("q") == ["u2", "u3"]
+        log.add(SearchRecord("q", "u1", 1))
+        assert log.top_urls("q") == ["u1", "u2", "u3"]
+
+    def test_add_to_other_query_keeps_cache_valid(self):
+        log = SearchLog.from_tuples([("a", "u1", 1), ("b", "u9", 1)])
+        assert log.top_urls("a") == ["u1"]
+        log.add(SearchRecord("b", "u8", 2))
+        assert log.top_urls("a") == ["u1"]
+        assert log.top_urls("b") == ["u9", "u8"]
+
+    def test_mutating_returned_list_does_not_corrupt_cache(self):
+        log = SearchLog.from_tuples([("q", "u1", 1), ("q", "u2", 2)])
+        view = log.top_urls("q")
+        view.append("junk")
+        assert log.top_urls("q") == ["u1", "u2"]
+
+    def test_iter_records_after_add_sees_new_record(self):
+        log = SearchLog.from_tuples([("q", "u2", 2)])
+        list(log.iter_records())
+        log.add(SearchRecord("q", "u1", 1))
+        assert [record.url for record in log.iter_records()] == ["u1", "u2"]

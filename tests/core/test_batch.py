@@ -1,0 +1,299 @@
+"""Tests for the sharded batch miner and the frozen click index.
+
+The load-bearing guarantee is *equivalence*: whatever combination of
+workers, shard size and backend is used, the batch miner must return
+results identical to the serial ``SynonymMiner.mine()`` — same entities,
+same key order, same scored candidate lists, same selections.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.clicklog.log import ClickLog, SearchLog
+from repro.clicklog.records import ClickRecord, SearchRecord
+from repro.core.batch import BatchMiner, BatchProgress, CacheStats, FrozenClickIndex
+from repro.core.config import MinerConfig
+from repro.core.incremental import IncrementalSynonymMiner
+from repro.core.pipeline import SynonymMiner
+
+
+CONFIG = MinerConfig(ipc_threshold=2, icr_threshold=0.1)
+
+
+def assert_results_identical(actual, expected):
+    """Entity order, candidate order and every scored field must match."""
+    assert list(actual.per_entity) == list(expected.per_entity)
+    for canonical, expected_entry in expected.per_entity.items():
+        entry = actual[canonical]
+        assert entry.surrogates == expected_entry.surrogates
+        assert entry.candidates == expected_entry.candidates
+        assert entry.selected == expected_entry.selected
+
+
+@pytest.fixture(scope="module")
+def toy_serial_result(toy_world):
+    miner = SynonymMiner(
+        click_log=toy_world.click_log, search_log=toy_world.search_log, config=CONFIG
+    )
+    return miner.mine(toy_world.canonical_queries())
+
+
+class TestFrozenClickIndex:
+    def test_profiles_match_live_log(self, mini_click_log, mini_search_log):
+        index = FrozenClickIndex.from_logs(mini_click_log, mini_search_log)
+        for query in mini_click_log.queries():
+            frozen = index.candidate_profile(query)
+            live = mini_click_log.candidate_profile(query)
+            assert frozen.clicked_urls == live.clicked_urls
+            assert frozen.total_clicks == live.total_clicks
+            assert dict(frozen.clicks_by_url) == dict(live.clicks_by_url)
+
+    def test_surrogates_respect_top_k(self, mini_click_log, mini_search_log):
+        index = FrozenClickIndex.from_logs(
+            mini_click_log, mini_search_log, surrogate_k=2
+        )
+        canonical = "indiana jones and the kingdom of the crystal skull"
+        assert index.surrogates(canonical) == tuple(
+            mini_search_log.top_urls(canonical, k=2)
+        )
+        assert index.surrogates("unknown") == ()
+
+    def test_snapshot_is_isolated_from_later_mutation(self, mini_search_log):
+        log = ClickLog.from_tuples([("q", "u1", 5)])
+        index = FrozenClickIndex.from_logs(log, mini_search_log)
+        log.add(ClickRecord("q", "u2", 7))
+        assert index.total_clicks("q") == 5
+        assert index.urls_clicked_for("q") == {"u1"}
+
+    def test_memoization_counts_hits_and_misses(self, mini_click_log, mini_search_log):
+        index = FrozenClickIndex.from_logs(mini_click_log, mini_search_log)
+        index.candidate_profile("indy 4")
+        index.candidate_profile("indy 4")
+        index.candidate_profile("harrison ford")
+        assert index.cache_stats == CacheStats(hits=1, misses=2)
+        assert index.cache_stats.hit_rate == pytest.approx(1 / 3)
+        assert index.candidate_profile("indy 4") is index.candidate_profile("indy 4")
+
+    def test_memoize_disabled_never_hits(self, mini_click_log, mini_search_log):
+        index = FrozenClickIndex.from_logs(
+            mini_click_log, mini_search_log, memoize=False
+        )
+        index.candidate_profile("indy 4")
+        index.candidate_profile("indy 4")
+        assert index.cache_stats == CacheStats(hits=0, misses=2)
+
+    def test_pickle_round_trip_drops_cache(self, mini_click_log, mini_search_log):
+        index = FrozenClickIndex.from_logs(mini_click_log, mini_search_log)
+        index.candidate_profile("indy 4")
+        clone = pickle.loads(pickle.dumps(index))
+        assert clone.cache_stats == CacheStats()
+        assert clone.total_clicks("indy 4") == index.total_clicks("indy 4")
+        assert clone.surrogates(
+            "indiana jones and the kingdom of the crystal skull"
+        ) == index.surrogates("indiana jones and the kingdom of the crystal skull")
+
+    def test_reset_cache(self, mini_click_log, mini_search_log):
+        index = FrozenClickIndex.from_logs(mini_click_log, mini_search_log)
+        index.candidate_profile("indy 4")
+        index.reset_cache()
+        assert index.cache_stats == CacheStats()
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize(
+        ("workers", "backend", "shard_size"),
+        [
+            (1, "serial", None),
+            (1, "thread", 3),
+            (3, "thread", None),
+            (3, "thread", 1),
+            (2, "process", 5),
+            (1, "process", None),
+        ],
+    )
+    def test_identical_to_serial(
+        self, toy_world, toy_serial_result, workers, backend, shard_size
+    ):
+        batch = BatchMiner(
+            click_log=toy_world.click_log,
+            search_log=toy_world.search_log,
+            config=CONFIG,
+            workers=workers,
+            shard_size=shard_size,
+            backend=backend,
+        )
+        result = batch.mine(toy_world.canonical_queries())
+        assert_results_identical(result, toy_serial_result)
+
+    def test_duplicate_and_raw_values_collapse_like_serial(self, toy_world):
+        values = toy_world.canonical_queries()[:4]
+        noisy = [values[0].upper()] + values + values[:2]
+        serial = SynonymMiner(
+            click_log=toy_world.click_log, search_log=toy_world.search_log, config=CONFIG
+        ).mine(noisy)
+        batch = BatchMiner(
+            click_log=toy_world.click_log,
+            search_log=toy_world.search_log,
+            config=CONFIG,
+            workers=2,
+            shard_size=2,
+        )
+        assert_results_identical(batch.mine(noisy), serial)
+
+    def test_cache_hits_on_shared_candidates(self, toy_world):
+        batch = BatchMiner(
+            click_log=toy_world.click_log,
+            search_log=toy_world.search_log,
+            config=CONFIG,
+            workers=2,
+            backend="thread",
+        )
+        batch.mine(toy_world.canonical_queries())
+        stats = batch.last_run_stats
+        assert stats is not None
+        assert stats.backend == "thread"
+        assert stats.entities == len(toy_world.canonical_queries())
+        assert stats.cache.lookups > 0
+        # The toy world's entities share head queries, so the cross-entity
+        # cache must see real hits.
+        assert stats.cache.hits > 0
+
+    def test_empty_catalog(self, toy_world):
+        batch = BatchMiner(
+            click_log=toy_world.click_log, search_log=toy_world.search_log, config=CONFIG
+        )
+        result = batch.mine([])
+        assert len(result) == 0
+        assert batch.last_run_stats.entities == 0
+
+
+class TestMineIter:
+    def test_yields_in_input_order_with_progress(self, toy_world, toy_serial_result):
+        values = toy_world.canonical_queries()
+        events: list[BatchProgress] = []
+        batch = BatchMiner(
+            click_log=toy_world.click_log,
+            search_log=toy_world.search_log,
+            config=CONFIG,
+            workers=2,
+            shard_size=4,
+            backend="thread",
+        )
+        yielded = list(batch.mine_iter(values, progress=events.append))
+        assert [entry.canonical for entry in yielded] == list(
+            toy_serial_result.per_entity
+        )
+        assert len(events) == batch.last_run_stats.shard_count
+        assert [event.shards_done for event in events] == list(
+            range(1, len(events) + 1)
+        )
+        assert events[-1].entities_done == len(values)
+        assert events[-1].fraction == pytest.approx(1.0)
+
+    def test_streaming_matches_collected(self, toy_world):
+        batch = BatchMiner(
+            click_log=toy_world.click_log,
+            search_log=toy_world.search_log,
+            config=CONFIG,
+            workers=2,
+            shard_size=3,
+        )
+        values = toy_world.canonical_queries()[:7]
+        streamed = {entry.canonical: entry for entry in batch.mine_iter(values)}
+        collected = batch.mine(values)
+        assert streamed.keys() == collected.per_entity.keys()
+        for canonical, entry in streamed.items():
+            assert entry.candidates == collected[canonical].candidates
+
+
+class TestValidation:
+    def test_rejects_unknown_backend(self, toy_world):
+        with pytest.raises(ValueError):
+            BatchMiner(click_log=toy_world.click_log, backend="gpu")
+
+    def test_rejects_bad_workers_and_shard_size(self, toy_world):
+        with pytest.raises(ValueError):
+            BatchMiner(click_log=toy_world.click_log, workers=0)
+        with pytest.raises(ValueError):
+            BatchMiner(click_log=toy_world.click_log, shard_size=0)
+
+    def test_requires_logs_or_index(self):
+        with pytest.raises(ValueError):
+            BatchMiner()
+
+    def test_requires_search_log_with_click_log(self, toy_world):
+        # Without Search Data every entity would silently mine to nothing.
+        with pytest.raises(ValueError, match="Search Data"):
+            BatchMiner(click_log=toy_world.click_log)
+
+    def test_prebuilt_index_reused_across_runs(self, toy_world):
+        index = FrozenClickIndex.from_logs(
+            toy_world.click_log, toy_world.search_log, surrogate_k=CONFIG.surrogate_k
+        )
+        batch = BatchMiner(index=index, config=CONFIG, workers=1, backend="serial")
+        values = toy_world.canonical_queries()[:6]
+        batch.mine(values)
+        first = batch.last_run_stats.cache
+        batch.mine(values)
+        second = batch.last_run_stats.cache
+        # Second run over the same catalog is served entirely from the cache
+        # that survived on the shared index.
+        assert second.misses == 0
+        assert second.hits == first.lookups
+
+
+class TestIncrementalEquivalence:
+    def _streamed_world(self, batch_threshold):
+        search_log = SearchLog()
+        incremental = IncrementalSynonymMiner(
+            search_log=search_log,
+            config=CONFIG,
+            batch_threshold=batch_threshold,
+        )
+        entities = [f"entity number {i}" for i in range(8)]
+        for i, canonical in enumerate(entities):
+            for rank in range(1, 4):
+                search_log.add(
+                    SearchRecord(canonical, f"https://site{i}.example/p{rank}", rank)
+                )
+        incremental.track(entities)
+        incremental.refresh()
+        # Stream several days of clicks: aliases concentrated on surrogates,
+        # a hub query spraying across many entities, then a late volume shift.
+        for i in range(8):
+            incremental.ingest_clicks(
+                [
+                    ClickRecord(f"alias {i}", f"https://site{i}.example/p1", 30),
+                    ClickRecord(f"alias {i}", f"https://site{i}.example/p2", 20),
+                    ClickRecord("hub query", f"https://site{i}.example/p1", 5),
+                ]
+            )
+            incremental.refresh()
+        incremental.ingest_clicks([ClickRecord("hub query", "https://elsewhere.example", 200)])
+        incremental.ingest_search(
+            [SearchRecord(entities[0], "https://site0.example/p9", 4)]
+        )
+        incremental.refresh()
+        return incremental, entities
+
+    @pytest.mark.parametrize("batch_threshold", [1, 64])
+    def test_matches_from_scratch_batch_mine(self, batch_threshold):
+        incremental, entities = self._streamed_world(batch_threshold)
+        scratch = BatchMiner(
+            click_log=incremental.click_log,
+            search_log=incremental.search_log,
+            config=CONFIG,
+            workers=2,
+        ).mine(entities)
+        assert incremental.result.per_entity.keys() == scratch.per_entity.keys()
+        for canonical in scratch.per_entity:
+            assert (
+                incremental.result[canonical].candidates
+                == scratch[canonical].candidates
+            )
+            assert (
+                incremental.result[canonical].selected == scratch[canonical].selected
+            )

@@ -140,3 +140,76 @@ class TestRefreshCorrectness:
     def test_refresh_all_forces_every_entity(self, incremental):
         incremental.refresh()
         assert set(incremental.refresh_all()) == {CANONICAL, OTHER}
+
+
+class TestDependencyEdgeMaintenance:
+    """The value→candidates reverse map keeps edge cleanup proportional to
+    the entity's own candidate list and leaves no stale edges behind."""
+
+    def test_edges_rebuilt_not_accumulated(self, incremental):
+        incremental.ingest_clicks(
+            [
+                ClickRecord("indy 4", "https://studio.example.com/indy-4", 60),
+                ClickRecord("indy 4", "https://wiki.example.org/indy-4", 30),
+            ]
+        )
+        incremental.refresh()
+        assert CANONICAL in incremental._candidate_to_values["indy 4"]
+        assert "indy 4" in incremental._value_to_candidates[CANONICAL]
+        # Re-refreshing must not duplicate or leak edges.
+        incremental.ingest_clicks(
+            [ClickRecord("indy 4", "https://studio.example.com/indy-4", 5)]
+        )
+        incremental.refresh()
+        assert incremental._candidate_to_values["indy 4"] == {CANONICAL}
+
+    def test_forward_and_reverse_maps_stay_symmetric(self, incremental):
+        incremental.ingest_clicks(
+            [
+                ClickRecord("indy 4", "https://studio.example.com/indy-4", 60),
+                ClickRecord("madagascar 2", "https://studio.example.com/madagascar-2", 40),
+            ]
+        )
+        incremental.refresh()
+        for value, candidates in incremental._value_to_candidates.items():
+            for candidate in candidates:
+                assert value in incremental._candidate_to_values[candidate]
+        for candidate, values in incremental._candidate_to_values.items():
+            assert values, f"empty dependent set left behind for {candidate!r}"
+            for value in values:
+                assert candidate in incremental._value_to_candidates[value]
+
+    def test_batch_threshold_path_equivalent_to_serial(self, search_log):
+        def build(threshold):
+            miner = IncrementalSynonymMiner(
+                search_log=search_log,
+                config=MinerConfig(ipc_threshold=2, icr_threshold=0.5),
+                batch_threshold=threshold,
+            )
+            miner.track([CANONICAL, OTHER])
+            miner.refresh()
+            miner.ingest_clicks(
+                [
+                    ClickRecord("indy 4", "https://studio.example.com/indy-4", 60),
+                    ClickRecord("indy 4", "https://wiki.example.org/indy-4", 30),
+                    ClickRecord("madagascar 2", "https://studio.example.com/madagascar-2", 40),
+                ]
+            )
+            miner.refresh()
+            return miner
+
+        serial = build(threshold=999)  # always the per-entity loop
+        batched = build(threshold=1)  # always the BatchMiner path
+        assert serial.result.per_entity.keys() == batched.result.per_entity.keys()
+        for canonical in serial.result.per_entity:
+            assert (
+                serial.result[canonical].candidates
+                == batched.result[canonical].candidates
+            )
+            assert (
+                serial.result[canonical].selected == batched.result[canonical].selected
+            )
+
+    def test_invalid_batch_threshold_rejected(self, search_log):
+        with pytest.raises(ValueError):
+            IncrementalSynonymMiner(search_log=search_log, batch_threshold=0)

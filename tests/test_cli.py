@@ -106,3 +106,65 @@ class TestEndToEndWorkflow:
         monkeypatch.setattr("sys.stdin", io.StringIO(rows[0]["synonym"] + "\n"))
         assert main(["match", "--synonyms", str(mined)]) == 0
         assert json.loads(capsys.readouterr().out.strip())["matched"] is True
+
+
+class TestBatchMineCLI:
+    @pytest.fixture(scope="class")
+    def workdir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("cli-batch")
+
+    @pytest.fixture(scope="class")
+    def simulated(self, workdir):
+        assert main(
+            [
+                "simulate", "--dataset", "toy", "--entities", "10",
+                "--sessions", "3000", "--output", str(workdir / "logs"),
+            ]
+        ) == 0
+        return workdir / "logs"
+
+    def _mine(self, simulated, output, *extra):
+        args = [
+            "mine",
+            "--search", str(simulated / "search_data.jsonl"),
+            "--clicks", str(simulated / "click_data.jsonl"),
+            "--values", str(simulated / "values.txt"),
+            "--output", str(output),
+            "--ipc", "3", "--icr", "0.1",
+            *extra,
+        ]
+        assert main(args) == 0
+        return list(read_jsonl(output))
+
+    def test_workers_flag_matches_serial_output(self, simulated, workdir, capsys):
+        serial_rows = self._mine(simulated, workdir / "serial.jsonl")
+        batch_rows = self._mine(
+            simulated, workdir / "batch.jsonl",
+            "--workers", "2", "--shard-size", "3",
+        )
+        assert batch_rows == serial_rows
+        assert "profile cache hit rate" in capsys.readouterr().out
+
+    def test_workers_with_process_backend(self, simulated, workdir):
+        serial_rows = self._mine(simulated, workdir / "serial2.jsonl")
+        process_rows = self._mine(
+            simulated, workdir / "process.jsonl",
+            "--workers", "2", "--backend", "process",
+        )
+        assert process_rows == serial_rows
+
+    def test_batch_flags_without_workers_rejected(self, simulated, workdir):
+        with pytest.raises(SystemExit, match="require --workers"):
+            self._mine(simulated, workdir / "orphan.jsonl", "--backend", "process")
+        with pytest.raises(SystemExit, match="require --workers"):
+            self._mine(simulated, workdir / "orphan.jsonl", "--shard-size", "10")
+
+    def test_parser_accepts_batch_flags(self):
+        args = build_parser().parse_args(
+            [
+                "mine", "--search", "s", "--clicks", "c", "--values", "v",
+                "--output", "o", "--workers", "4", "--shard-size", "100",
+                "--backend", "process",
+            ]
+        )
+        assert args.workers == 4 and args.shard_size == 100 and args.backend == "process"
