@@ -1,0 +1,158 @@
+"""Serving-path benchmarks: artifact cold load and cached match throughput.
+
+Not a paper artifact: the paper stops at dictionary quality.  This
+benchmark backs the serving subsystem's two acceptance criteria on a
+single core:
+
+* **cold load** — booting a matcher from a compiled
+  :class:`~repro.serving.artifact.SynonymArtifact` must be ≥ 3× faster
+  than the legacy path (read the synonyms JSONL, rebuild
+  :class:`~repro.matching.dictionary.SynonymDictionary` entry by entry),
+  because artifact load is one file read plus flat array copies while the
+  rebuild re-normalizes and re-tokenizes every entry;
+* **cached matching** — repeating a production-shaped query mix against a
+  :class:`~repro.serving.service.MatchService` must be ≥ 5× faster than
+  the first (cache-cold) pass, because repeats are LRU hits that skip
+  segmentation and the fuzzy fallback entirely.
+
+The floors are conservative; the dictionary is sized so the measured
+ratios sit far above them, leaving headroom for noisy machines.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.cli import _dictionary_from_synonyms
+from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
+from repro.serving.artifact import SynonymArtifact, compile_dictionary
+from repro.serving.service import MatchService
+from repro.storage.jsonl import write_jsonl
+
+from benchmarks.conftest import write_result
+
+ENTITIES = 4_000
+SYNONYMS_PER_ENTITY = 4
+QUERY_MIX = 600
+
+
+def build_synonym_rows(
+    *, entities: int = ENTITIES, per_entity: int = SYNONYMS_PER_ENTITY, seed: int = 13
+) -> list[dict]:
+    """`mine`-shaped JSONL rows for a catalog-sized dictionary."""
+    rng = random.Random(seed)
+    adjectives = ["classic", "new", "original", "complete", "ultimate", "special"]
+    nouns = ["edition", "series", "collection", "saga", "story", "chronicles"]
+    rows = []
+    for i in range(entities):
+        canonical = f"{rng.choice(adjectives)} title {i:05d} {rng.choice(nouns)}"
+        for j in range(per_entity):
+            rows.append(
+                {
+                    "canonical": canonical,
+                    "synonym": f"title {i:05d} alias {j}",
+                    "ipc": rng.randint(4, 12),
+                    "icr": round(rng.uniform(0.1, 1.0), 4),
+                    "clicks": rng.randint(5, 500),
+                }
+            )
+    return rows
+
+
+def build_query_mix(rows: list[dict], *, size: int = QUERY_MIX, seed: int = 29) -> list[str]:
+    """Production-shaped traffic: exact hits, context words, typos, misses."""
+    rng = random.Random(seed)
+    queries: list[str] = []
+    for _ in range(size):
+        row = rng.choice(rows)
+        kind = rng.random()
+        if kind < 0.55:
+            queries.append(row["synonym"])
+        elif kind < 0.80:
+            queries.append(f"{row['synonym']} showtimes near me")
+        elif kind < 0.90:
+            # One dropped character: exercises the fuzzy fallback.
+            text = row["synonym"]
+            cut = rng.randrange(len(text))
+            queries.append(text[:cut] + text[cut + 1 :])
+        else:
+            queries.append(f"completely unrelated query {rng.randrange(10_000)}")
+    return queries
+
+
+def _best_of(runs: int, fn):
+    """Best wall-clock of *runs* calls, with the last call's return value."""
+    best = float("inf")
+    value = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+@pytest.fixture(scope="module")
+def serving_files(tmp_path_factory):
+    workdir = tmp_path_factory.mktemp("match-throughput")
+    rows = build_synonym_rows()
+    jsonl_path = workdir / "synonyms.jsonl"
+    write_jsonl(jsonl_path, rows)
+    artifact_path = workdir / "dict.synart"
+    compile_dictionary(_dictionary_from_synonyms(jsonl_path), artifact_path)
+    return rows, jsonl_path, artifact_path
+
+
+class TestMatchThroughput:
+    def test_cold_load_3x_and_cached_matching_5x(self, serving_files, results_dir):
+        rows, jsonl_path, artifact_path = serving_files
+
+        rebuild_s, dictionary = _best_of(2, lambda: _dictionary_from_synonyms(jsonl_path))
+        load_s, artifact = _best_of(2, lambda: SynonymArtifact.load(artifact_path))
+        assert len(artifact) == len(dictionary)
+        cold_speedup = rebuild_s / load_s
+
+        queries = build_query_mix(rows)
+        service = MatchService(artifact_path, cache_size=len(queries))
+        uncached_s, cold_results = _best_of(1, lambda: service.match_many(queries))
+        cached_s, warm_results = _best_of(1, lambda: service.match_many(queries))
+        assert warm_results == cold_results
+        cache_speedup = uncached_s / cached_s
+        stats = service.stats
+
+        jsonl_bytes = jsonl_path.stat().st_size
+        artifact_bytes = artifact_path.stat().st_size
+        lines = [
+            "Match serving throughput — compiled artifact vs in-memory rebuild",
+            f"  dictionary               {len(dictionary)} entries "
+            f"({ENTITIES} entities x {SYNONYMS_PER_ENTITY} synonyms + canonicals)",
+            f"  JSONL -> SynonymDictionary rebuild {rebuild_s:8.3f} s "
+            f"({jsonl_bytes} bytes read)",
+            f"  SynonymArtifact cold load          {load_s:8.3f} s "
+            f"({artifact_bytes} bytes read)",
+            f"  cold-load speedup                  {cold_speedup:8.2f} x",
+            f"  query mix                {len(queries)} queries "
+            "(55% exact, 25% with context, 10% typo, 10% miss)",
+            f"  MatchService uncached    {uncached_s:8.4f} s  "
+            f"({len(queries) / uncached_s:8.0f} queries/s)",
+            f"  MatchService cached      {cached_s:8.4f} s  "
+            f"({len(queries) / cached_s:8.0f} queries/s)",
+            f"  cached speedup           {cache_speedup:8.2f} x",
+            f"  cache                    {stats.cache_hits} hits / {stats.queries} queries "
+            f"(hit rate {stats.hit_rate:.1%})",
+        ]
+        write_result(results_dir, "match_throughput.txt", "\n".join(lines))
+
+        assert cold_speedup >= 3.0, "\n".join(lines)
+        assert cache_speedup >= 5.0, "\n".join(lines)
+
+    def test_artifact_match_latency(self, benchmark, serving_files):
+        rows, _, artifact_path = serving_files
+        service = MatchService(artifact_path, cache_size=0)
+        queries = build_query_mix(rows, size=100, seed=31)
+        results = benchmark.pedantic(
+            service.match_many, args=(queries,), rounds=3, iterations=1
+        )
+        assert len(results) == len(queries)

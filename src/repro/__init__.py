@@ -11,6 +11,8 @@ Top-level packages:
   IPC/ICR selection), the paper's contribution;
 * :mod:`repro.matching`    — the online fuzzy query-to-entity matcher built
   on the mined dictionary;
+* :mod:`repro.serving`     — compiled dictionary artifacts and the hot-swappable
+  match service (the mine → compile → serve pipeline);
 * :mod:`repro.search`, :mod:`repro.clicklog`, :mod:`repro.storage`,
   :mod:`repro.text`        — the substrates (search engine, click logs,
   persistence, text processing);
@@ -36,8 +38,9 @@ Quickstart::
 
 from repro.core import MinerConfig, SynonymMiner, MiningResult, SynonymCandidate
 from repro.matching import QueryMatcher, SynonymDictionary
+from repro.serving import MatchService, SynonymArtifact, compile_dictionary
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MinerConfig",
@@ -46,5 +49,8 @@ __all__ = [
     "SynonymCandidate",
     "QueryMatcher",
     "SynonymDictionary",
+    "MatchService",
+    "SynonymArtifact",
+    "compile_dictionary",
     "__version__",
 ]

@@ -1,7 +1,7 @@
 """Command-line interface.
 
-Four subcommands cover the offline workflow end to end without writing any
-Python:
+Six subcommands cover the offline *and* online workflow end to end without
+writing any Python:
 
 * ``simulate``    — build a simulated world and dump its catalog, Search
   Data and Click Data as JSONL files (the shape a real log-delivery
@@ -10,8 +10,15 @@ Python:
   expanded dictionary as JSONL (and optionally into a SQLite database);
   ``--workers N`` switches to the sharded batch miner with a shared
   profile cache (``--shard-size``, ``--backend`` tune the pool);
+* ``compile``     — freeze a mined synonyms JSONL into a compiled serving
+  artifact (one immutable file, cold-loadable in one read);
 * ``match``       — match live queries (arguments or stdin) against a
-  mined dictionary;
+  mined dictionary, from ``--synonyms`` JSONL (rebuilt in memory) or a
+  compiled ``--artifact`` (fast path);
+* ``serve``       — run a :class:`~repro.serving.service.MatchService`
+  over a compiled artifact: queries from a file or stdin, JSONL results
+  on stdout, latency percentiles on stderr, ``--watch`` hot-swaps when
+  the artifact file is re-published;
 * ``experiments`` — regenerate Figure 2, Figure 3 and Table I as text.
 
 Invoke as ``python -m repro <subcommand> ...``.
@@ -21,9 +28,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
+import time
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.clicklog.log import ClickLog, SearchLog
 from repro.clicklog.records import ClickRecord, SearchRecord
@@ -31,7 +40,10 @@ from repro.core.batch import BatchMiner
 from repro.core.config import MinerConfig
 from repro.core.pipeline import SynonymMiner
 from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
-from repro.matching.matcher import QueryMatcher
+from repro.matching.index import DictionaryIndex
+from repro.matching.matcher import EntityMatch, QueryMatcher
+from repro.serving.artifact import SynonymArtifact, compile_dictionary
+from repro.serving.service import MatchService
 from repro.simulation.scenario import ScenarioConfig, build_world
 from repro.storage.jsonl import read_jsonl, write_jsonl
 from repro.storage.sqlite_store import LogDatabase
@@ -93,10 +105,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool backend for --workers (default: thread)",
     )
 
+    compile_ = subparsers.add_parser(
+        "compile", help="freeze a mined synonyms JSONL into a compiled serving artifact"
+    )
+    compile_.add_argument("--synonyms", type=Path, required=True, help="synonyms JSONL from `mine`")
+    compile_.add_argument("--output", type=Path, required=True, help="output artifact file")
+    compile_.add_argument(
+        "--version-label", default="1",
+        help="version label recorded in the artifact manifest (default: 1)",
+    )
+
     match = subparsers.add_parser("match", help="match live queries against a mined dictionary")
-    match.add_argument("--synonyms", type=Path, required=True, help="synonyms JSONL from `mine`")
+    match_source = match.add_mutually_exclusive_group(required=True)
+    match_source.add_argument("--synonyms", type=Path, help="synonyms JSONL from `mine`")
+    match_source.add_argument(
+        "--artifact", type=Path,
+        help="compiled artifact from `compile` (fast alternative to JSONL rebuild)",
+    )
     match.add_argument("--no-fuzzy", action="store_true", help="disable the fuzzy fallback")
     match.add_argument("queries", nargs="*", help="queries to match (reads stdin when omitted)")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve queries from a compiled artifact and report latency percentiles"
+    )
+    serve.add_argument("--artifact", type=Path, required=True, help="compiled artifact file")
+    serve.add_argument(
+        "--queries", type=Path, default=None,
+        help="file with one query per line (reads stdin when omitted)",
+    )
+    serve.add_argument("--no-fuzzy", action="store_true", help="disable the fuzzy fallback")
+    serve.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="LRU result cache size, 0 disables (default 4096)",
+    )
+    serve.add_argument(
+        "--watch", action="store_true",
+        help="re-load the artifact when its file changes (hot swap between queries)",
+    )
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's figures and tables as text"
@@ -208,29 +253,115 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_match(args: argparse.Namespace) -> int:
-    dictionary = SynonymDictionary(
-        DictionaryEntry(row["synonym"], row["canonical"], source="mined")
-        for row in read_jsonl(args.synonyms)
-    )
-    for row in read_jsonl(args.synonyms):
+def _dictionary_from_synonyms(path: Path) -> SynonymDictionary:
+    """Rebuild the in-memory dictionary from a `mine` output JSONL.
+
+    Without a catalog the canonical string doubles as the entity id (the
+    convention `match` has always used); mined entries carry their click
+    volume as the weight so duplicate (text, entity) pairs keep the
+    best-evidenced entry.
+    """
+    dictionary = SynonymDictionary()
+    for row in read_jsonl(path):
         dictionary.add(DictionaryEntry(row["canonical"], row["canonical"], source="canonical"))
+        dictionary.add(
+            DictionaryEntry(
+                row["synonym"], row["canonical"], source="mined",
+                weight=float(row.get("clicks", 1)),
+            )
+        )
+    return dictionary
+
+
+def _match_payload(query: str, match: EntityMatch) -> dict:
+    return {
+        "query": query,
+        "matched": match.matched,
+        "outcome": match.outcome.value,
+        "entities": sorted(match.entity_ids),
+        "matched_text": match.matched_text,
+        "remainder": match.remainder,
+    }
+
+
+def _iter_query_lines(path: Path | None) -> Iterator[str]:
+    """Non-blank query lines from *path*, or stdin when no file is given."""
+    if path is None:
+        source: Iterable[str] = sys.stdin
+    else:
+        source = path.read_text(encoding="utf-8").splitlines()
+    return (line.strip() for line in source if line.strip())
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    dictionary = _dictionary_from_synonyms(args.synonyms)
+    manifest = compile_dictionary(
+        dictionary, args.output, version=args.version_label
+    )
+    size = args.output.stat().st_size
+    print(
+        f"compiled {manifest.counts['entries']} entries "
+        f"({manifest.counts['unique_texts']} strings, {manifest.counts['tokens']} tokens) "
+        f"-> {args.output} [{size} bytes, version {manifest.version}, "
+        f"sha256 {manifest.content_hash[:12]}]"
+    )
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    dictionary: DictionaryIndex
+    if args.artifact is not None:
+        dictionary = SynonymArtifact.load(args.artifact)
+    else:
+        dictionary = _dictionary_from_synonyms(args.synonyms)
     matcher = QueryMatcher(dictionary, enable_fuzzy=not args.no_fuzzy)
 
     queries = list(args.queries)
     if not queries:
         queries = [line.strip() for line in sys.stdin if line.strip()]
     for query in queries:
-        match = matcher.match(query)
-        payload = {
-            "query": query,
-            "matched": match.matched,
-            "outcome": match.outcome.value,
-            "entities": sorted(match.entity_ids),
-            "matched_text": match.matched_text,
-            "remainder": match.remainder,
-        }
-        print(json.dumps(payload, ensure_ascii=False))
+        print(json.dumps(_match_payload(query, matcher.match(query)), ensure_ascii=False))
+    return 0
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.cache_size < 0:
+        raise SystemExit("repro serve: error: --cache-size must be >= 0")
+    service = MatchService(
+        args.artifact, cache_size=args.cache_size, enable_fuzzy=not args.no_fuzzy
+    )
+    latencies: list[float] = []
+    for query in _iter_query_lines(args.queries):
+        if args.watch:
+            service.maybe_reload()
+        started = time.perf_counter()
+        match = service.match(query)
+        latencies.append(time.perf_counter() - started)
+        print(json.dumps(_match_payload(query, match), ensure_ascii=False), flush=True)
+
+    stats = service.stats
+    summary = [f"served {stats.queries} queries from {args.artifact}"]
+    if latencies:
+        latencies.sort()
+        summary.append(
+            "latency p50 {:.3f} ms, p90 {:.3f} ms, p99 {:.3f} ms, max {:.3f} ms".format(
+                _percentile(latencies, 0.50) * 1e3,
+                _percentile(latencies, 0.90) * 1e3,
+                _percentile(latencies, 0.99) * 1e3,
+                latencies[-1] * 1e3,
+            )
+        )
+    summary.append(
+        f"cache hit rate {stats.hit_rate:.1%} ({stats.cache_hits}/{stats.queries}), "
+        f"reloads {stats.reloads}, artifact version {service.manifest.version}"
+    )
+    print("\n".join(summary), file=sys.stderr)
     return 0
 
 
@@ -261,7 +392,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "mine": _cmd_mine,
+    "compile": _cmd_compile,
     "match": _cmd_match,
+    "serve": _cmd_serve,
     "experiments": _cmd_experiments,
 }
 

@@ -41,7 +41,7 @@ from repro.clicklog.log import CandidateProfile, ClickLog, SearchLog
 from repro.core.candidates import CandidateGenerator
 from repro.core.config import MinerConfig
 from repro.core.selection import CandidateSelector, score_profile
-from repro.core.types import EntitySynonyms, MiningResult
+from repro.core.types import EntitySynonyms, MiningResult, SynonymCandidate
 from repro.text.normalize import normalize
 
 __all__ = [
@@ -288,9 +288,73 @@ def _mine_shard(
 # ------------------------------------------------------------------------- #
 # Process-backend plumbing: the index is shipped to each worker exactly once
 # (pool initializer), then shards reference it through this module global.
+# Results travel back as compact tuples (see _pack_entry) rather than whole
+# dataclass graphs: pickling a dataclass ships its qualified class name and
+# per-field name/value pairs for every candidate, while a tuple ships only
+# the values.  The two big strings wins: every candidate's
+# ``intersecting_urls`` is by construction a subset of the entity's
+# surrogate set (see score_profile), so URLs cross the channel once in the
+# surrogate tuple and every intersection is a tuple of small ints; and
+# ``selected`` rides along as indices into ``candidates`` instead of a
+# second copy of each candidate.  The parent rehydrates.
 # ------------------------------------------------------------------------- #
 
 _WORKER_STATE: dict = {}
+
+# (canonical, surrogates, candidate value tuples, indices of selected ones);
+# inside each candidate tuple the last element holds surrogate indices (int)
+# for intersecting URLs, with a raw-string fallback for any URL that is not
+# a surrogate (defensive: score_profile never produces one today).
+_PackedEntry = tuple[
+    str,
+    tuple[str, ...],
+    tuple[tuple[str, int, float, int, tuple[int | str, ...]], ...],
+    tuple[int, ...],
+]
+
+
+def _pack_entry(entry: EntitySynonyms) -> _PackedEntry:
+    """Flatten one entity's result into plain tuples for the IPC channel."""
+    candidate_index = {c.query: i for i, c in enumerate(entry.candidates)}
+    surrogate_index = {url: i for i, url in enumerate(entry.surrogates)}
+    return (
+        entry.canonical,
+        tuple(entry.surrogates),
+        tuple(
+            (
+                c.query,
+                c.ipc,
+                c.icr,
+                c.clicks,
+                tuple(surrogate_index.get(url, url) for url in c.intersecting_urls),
+            )
+            for c in entry.candidates
+        ),
+        tuple(candidate_index[c.query] for c in entry.selected),
+    )
+
+
+def _unpack_entry(packed: _PackedEntry) -> EntitySynonyms:
+    """Rehydrate a worker's packed tuple back into an :class:`EntitySynonyms`."""
+    canonical, surrogates, candidate_rows, selected_indices = packed
+    candidates = [
+        SynonymCandidate(
+            query=query,
+            ipc=ipc,
+            icr=icr,
+            clicks=clicks,
+            intersecting_urls=tuple(
+                surrogates[ref] if isinstance(ref, int) else ref for ref in url_refs
+            ),
+        )
+        for query, ipc, icr, clicks, url_refs in candidate_rows
+    ]
+    return EntitySynonyms(
+        canonical=canonical,
+        surrogates=surrogates,
+        candidates=candidates,
+        selected=[candidates[i] for i in selected_indices],
+    )
 
 
 def _init_batch_worker(index: FrozenClickIndex, config: MinerConfig) -> None:
@@ -301,12 +365,12 @@ def _init_batch_worker(index: FrozenClickIndex, config: MinerConfig) -> None:
 
 def _mine_shard_in_worker(
     shard: Sequence[str],
-) -> tuple[list[EntitySynonyms], CacheStats]:
+) -> tuple[list[_PackedEntry], CacheStats]:
     index: FrozenClickIndex = _WORKER_STATE["index"]
     config: MinerConfig = _WORKER_STATE["config"]
     before = index.cache_stats
     entries = _mine_shard(index, config, shard)
-    return entries, index.cache_stats - before
+    return [_pack_entry(entry) for entry in entries], index.cache_stats - before
 
 
 @dataclass(frozen=True)
@@ -513,7 +577,8 @@ class BatchMiner:
             initializer=_init_batch_worker,
             initargs=(self.index, self.config),
         ) as pool:
-            yield from pool.map(_mine_shard_in_worker, shards)
+            for packed, delta in pool.map(_mine_shard_in_worker, shards):
+                yield [_unpack_entry(entry) for entry in packed], delta
 
     # ------------------------------------------------------------------ #
     # Introspection

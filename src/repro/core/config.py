@@ -13,7 +13,9 @@ k = 10-ish surrogates, which are the defaults here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 
 __all__ = ["MinerConfig"]
 
@@ -73,3 +75,13 @@ class MinerConfig:
         if icr is not None:
             updated = replace(updated, icr_threshold=icr)
         return updated
+
+    def fingerprint(self) -> str:
+        """Stable hash of this configuration.
+
+        Stamped into published artifact manifests so a server can tell
+        whether the dictionary it is serving was mined with the thresholds
+        it expects.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

@@ -76,6 +76,9 @@ class IncrementalSynonymMiner:
         self._value_to_candidates: dict[str, set[str]] = {}
         self._dirty: set[str] = set()
         self._result = MiningResult()
+        # Bumped by every refresh that re-mined something; stamps published
+        # artifacts so servers can tell which refresh they are serving.
+        self._generation = 0
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -176,6 +179,7 @@ class IncrementalSynonymMiner:
             for candidate in depends_on:
                 self._candidate_to_values.setdefault(candidate, set()).add(canonical)
         self._dirty.clear()
+        self._generation += 1
         return refreshed
 
     def _drop_candidate_edges(self, canonical: str) -> None:
@@ -210,3 +214,35 @@ class IncrementalSynonymMiner:
         """Force a full re-mine of every tracked value."""
         self._dirty.update(self._tracked)
         return self.refresh()
+
+    # ------------------------------------------------------------------ #
+    # Publication
+    # ------------------------------------------------------------------ #
+
+    @property
+    def generation(self) -> int:
+        """How many refreshes have re-mined at least one entity."""
+        return self._generation
+
+    def publish(self, catalog, path, *, include_canonical: bool = True):
+        """Compile the current cached result into a serving artifact.
+
+        The artifact version is ``gen-<n>`` where *n* is the refresh
+        generation, so successive publications of an incrementally
+        maintained dictionary are distinguishable in their manifests; a
+        :class:`~repro.serving.service.MatchService` watching *path* picks
+        the new artifact up atomically.  Call :meth:`refresh` first if there
+        are dirty entities.  Returns the written manifest.
+        """
+        from repro.matching.dictionary import SynonymDictionary
+        from repro.serving.artifact import compile_dictionary
+
+        dictionary = SynonymDictionary.from_mining_result(
+            self._result, catalog, include_canonical=include_canonical
+        )
+        return compile_dictionary(
+            dictionary,
+            path,
+            version=f"gen-{self._generation}",
+            config_fingerprint=self.config.fingerprint(),
+        )

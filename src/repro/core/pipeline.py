@@ -174,6 +174,39 @@ class SynonymMiner:
     # Persistence
     # ------------------------------------------------------------------ #
 
+    def publish(
+        self,
+        result: MiningResult,
+        catalog,
+        path,
+        *,
+        include_canonical: bool = True,
+        version: str = "1",
+    ):
+        """Compile *result* into a serving artifact at *path*.
+
+        This is the publish hook of the mine → compile → serve pipeline:
+        the mining result is flattened into a
+        :class:`~repro.matching.dictionary.SynonymDictionary` against
+        *catalog* (an :class:`~repro.simulation.catalog.EntityCatalog`) and
+        frozen with :func:`~repro.serving.artifact.compile_dictionary`,
+        stamping this miner's config fingerprint into the manifest.
+        Returns the written :class:`~repro.storage.artifact.ArtifactManifest`.
+        """
+        # Imported lazily: serving sits above core in the layering.
+        from repro.matching.dictionary import SynonymDictionary
+        from repro.serving.artifact import compile_dictionary
+
+        dictionary = SynonymDictionary.from_mining_result(
+            result, catalog, include_canonical=include_canonical
+        )
+        return compile_dictionary(
+            dictionary,
+            path,
+            version=version,
+            config_fingerprint=self.config.fingerprint(),
+        )
+
     @staticmethod
     def store(result: MiningResult, database: LogDatabase) -> int:
         """Persist the selected synonyms of *result* into *database*.

@@ -16,6 +16,7 @@ The package consumes the offline miner's output:
 """
 
 from repro.matching.dictionary import SynonymDictionary, DictionaryEntry
+from repro.matching.index import DictionaryIndex
 from repro.matching.segmentation import QuerySegmenter, Segment
 from repro.matching.matcher import QueryMatcher, EntityMatch, MatchOutcome
 from repro.matching.resolver import MatchResolver, RankedEntity
@@ -23,6 +24,7 @@ from repro.matching.resolver import MatchResolver, RankedEntity
 __all__ = [
     "SynonymDictionary",
     "DictionaryEntry",
+    "DictionaryIndex",
     "QuerySegmenter",
     "Segment",
     "QueryMatcher",

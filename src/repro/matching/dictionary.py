@@ -46,6 +46,9 @@ class SynonymDictionary:
         self._entries: list[DictionaryEntry] = []
         self._exact: dict[str, list[DictionaryEntry]] = defaultdict(list)
         self._token_index: dict[str, set[str]] = defaultdict(set)
+        # (normalized text, entity id) → position in _entries, so duplicate
+        # adds resolve in O(1) instead of scanning the exact bucket.
+        self._positions: dict[tuple[str, str], int] = {}
         for entry in entries:
             self.add(entry)
 
@@ -54,16 +57,28 @@ class SynonymDictionary:
     # ------------------------------------------------------------------ #
 
     def add(self, entry: DictionaryEntry) -> None:
-        """Add one entry (text is normalized; duplicates are collapsed)."""
+        """Add one entry (text is normalized; duplicates keep the max weight).
+
+        Adding the same normalized text twice for one entity (e.g. the
+        canonical value and a mined synonym that normalizes to it) keeps a
+        single entry carrying the larger weight, so click-volume evidence is
+        never silently dropped and the fuzzy shortlist sees each (string,
+        entity) pair exactly once.
+        """
         text = normalize(entry.text)
         if not text:
             return
         normalized_entry = DictionaryEntry(text, entry.entity_id, entry.source, entry.weight)
-        if any(
-            existing.entity_id == entry.entity_id and existing.text == text
-            for existing in self._exact[text]
-        ):
+        key = (text, entry.entity_id)
+        position = self._positions.get(key)
+        if position is not None:
+            existing = self._entries[position]
+            if normalized_entry.weight > existing.weight:
+                self._entries[position] = normalized_entry
+                bucket = self._exact[text]
+                bucket[bucket.index(existing)] = normalized_entry
             return
+        self._positions[key] = len(self._entries)
         self._entries.append(normalized_entry)
         self._exact[text].append(normalized_entry)
         for token in tokenize(text, normalized=True):

@@ -1,0 +1,65 @@
+"""The lookup interface the online matching layer is built against.
+
+:class:`~repro.matching.dictionary.SynonymDictionary` started life as the
+only string → entity index, and the matcher/segmenter were written directly
+against its dict-of-dicts internals.  Serving at scale needs other
+implementations — most importantly the compiled, memory-mapped-style
+:class:`~repro.serving.artifact.SynonymArtifact` — so the surface the
+online path actually consumes is spelled out here as a
+:class:`typing.Protocol`:
+
+* an **exact index** (``lookup`` / ``entities_for`` / ``__contains__``),
+* a **token shortlist** for the fuzzy fallback
+  (``strings_containing_token``),
+* **entry iteration** (``__iter__`` / ``__len__`` /
+  ``strings_for_entity``) for offline consumers such as the resolver's
+  click-prior, and
+* ``max_entry_tokens``, the segmenter's span-length bound.
+
+Anything implementing this protocol can be handed to
+:class:`~repro.matching.matcher.QueryMatcher`,
+:class:`~repro.matching.segmentation.QuerySegmenter` and
+:class:`~repro.matching.resolver.MatchResolver`; the equivalence tests pin
+that the compiled artifact and the in-memory dictionary are
+indistinguishable through this interface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.matching.dictionary import DictionaryEntry
+
+__all__ = ["DictionaryIndex"]
+
+
+@runtime_checkable
+class DictionaryIndex(Protocol):
+    """String → entity lookup surface consumed by the online matchers."""
+
+    def lookup(self, text: str) -> list[DictionaryEntry]:
+        """Exact lookup of a (raw or normalized) string."""
+        ...
+
+    def entities_for(self, text: str) -> set[str]:
+        """Entity ids the exact string refers to (empty set when unknown)."""
+        ...
+
+    def strings_containing_token(self, token: str) -> set[str]:
+        """Dictionary strings containing *token* (fuzzy-fallback shortlist)."""
+        ...
+
+    def strings_for_entity(self, entity_id: str) -> list[str]:
+        """Every dictionary string referring to *entity_id*."""
+        ...
+
+    @property
+    def max_entry_tokens(self) -> int:
+        """Length (in tokens) of the longest dictionary string."""
+        ...
+
+    def __contains__(self, text: str) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[DictionaryEntry]: ...

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.matching.dictionary import SynonymDictionary
+from repro.matching.index import DictionaryIndex
 from repro.matching.segmentation import QuerySegmenter, Segment
 from repro.text.normalize import normalize
 from repro.text.similarity import levenshtein_similarity, token_containment
@@ -59,11 +59,16 @@ class EntityMatch:
 
 
 class QueryMatcher:
-    """Matches live Web queries against the expanded synonym dictionary."""
+    """Matches live Web queries against a :class:`DictionaryIndex`.
+
+    Any index implementation works — the in-memory
+    :class:`~repro.matching.dictionary.SynonymDictionary` or a compiled
+    :class:`~repro.serving.artifact.SynonymArtifact`.
+    """
 
     def __init__(
         self,
-        dictionary: SynonymDictionary,
+        dictionary: DictionaryIndex,
         *,
         enable_fuzzy: bool = True,
         fuzzy_similarity_threshold: float = 0.84,

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.clicklog.log import ClickLog
-from repro.matching.dictionary import SynonymDictionary
+from repro.matching.index import DictionaryIndex
 from repro.matching.matcher import EntityMatch
 from repro.text.stopwords import remove_stopwords
 from repro.text.tokenize import tokenize
@@ -45,7 +45,7 @@ class MatchResolver:
 
     def __init__(
         self,
-        dictionary: SynonymDictionary,
+        dictionary: DictionaryIndex,
         *,
         click_log: ClickLog | None = None,
         context_weight: float = 2.0,

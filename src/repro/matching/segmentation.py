@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.matching.dictionary import SynonymDictionary
+from repro.matching.index import DictionaryIndex
 from repro.text.normalize import normalize
 from repro.text.tokenize import tokenize
 
@@ -50,7 +50,7 @@ class Segment:
 class QuerySegmenter:
     """Finds dictionary-matching spans inside live queries."""
 
-    def __init__(self, dictionary: SynonymDictionary, *, max_span_tokens: int | None = None) -> None:
+    def __init__(self, dictionary: DictionaryIndex, *, max_span_tokens: int | None = None) -> None:
         self.dictionary = dictionary
         limit = dictionary.max_entry_tokens or 1
         self.max_span_tokens = max_span_tokens or limit

@@ -1,0 +1,34 @@
+"""Serving layer: compiled dictionary artifacts and the match service.
+
+The offline miner produces a :class:`~repro.core.types.MiningResult`; the
+online matcher needs a fast, immutable index.  This package is the bridge —
+the mine → **compile** → **serve** half of the pipeline:
+
+* :func:`~repro.serving.artifact.compile_dictionary` freezes a
+  :class:`~repro.matching.dictionary.SynonymDictionary` into a single
+  versioned artifact file (string pool + packed postings + manifest, see
+  :mod:`repro.storage.artifact` for the container);
+* :class:`~repro.serving.artifact.SynonymArtifact` cold-loads that file
+  with one read and serves the full
+  :class:`~repro.matching.index.DictionaryIndex` protocol straight from
+  the packed arrays, materializing entries lazily;
+* :class:`~repro.serving.service.MatchService` owns an artifact, memoizes
+  results in an LRU keyed on the normalized query, matches batches, and
+  hot-swaps to a re-published artifact atomically via ``reload()`` /
+  ``maybe_reload()``.
+
+CLI: ``python -m repro compile`` produces artifacts, ``python -m repro
+serve`` answers queries from one (``--watch`` follows republications), and
+``python -m repro match --artifact`` uses one for ad-hoc matching.
+"""
+
+from repro.serving.artifact import SynonymArtifact, compile_dictionary, ARTIFACT_KIND
+from repro.serving.service import MatchService, ServiceStats
+
+__all__ = [
+    "ARTIFACT_KIND",
+    "SynonymArtifact",
+    "compile_dictionary",
+    "MatchService",
+    "ServiceStats",
+]

@@ -1,0 +1,353 @@
+"""Compiled synonym dictionaries: the ``SynonymArtifact`` format.
+
+``SynonymDictionary`` is rebuilt from raw mining output on every process
+start — fine for experiments, wrong for serving: a million-entry dictionary
+costs a normalize+tokenize pass and millions of Python objects before the
+first query can be answered.  ``compile_dictionary`` freezes a dictionary
+once, offline, into a single immutable artifact file that a server
+cold-loads with one read; :class:`SynonymArtifact` then implements the full
+:class:`~repro.matching.index.DictionaryIndex` protocol directly on the
+packed bytes, materializing a :class:`DictionaryEntry` only when a lookup
+actually touches it.
+
+Layout (inside the :mod:`repro.storage.artifact` container, kind
+``"synonym-dictionary"``):
+
+* ``strings.blob`` / ``strings.offsets`` — one deduplicated UTF-8 string
+  pool (entry texts, entity ids, sources and index tokens all share it)
+  with a cumulative offset table;
+* ``entries.text`` / ``entries.entity`` / ``entries.source`` /
+  ``entries.weight`` — the entries as four parallel packed arrays, in
+  dictionary insertion order;
+* ``exact.text`` / ``exact.starts`` / ``exact.entries`` — the exact index:
+  unique texts sorted by UTF-8 bytes, each owning a slice of entry ids
+  (binary search over raw bytes, no decoding on the probe path);
+* ``token.text`` / ``token.starts`` / ``token.postings`` — the token
+  index backing the fuzzy-fallback shortlist.
+
+All lookups are answered from these arrays; ``max_entry_tokens`` is
+precomputed into the manifest so the segmenter's span bound is O(1).
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.matching.dictionary import DictionaryEntry
+from repro.storage.artifact import (
+    ArtifactError,
+    ArtifactManifest,
+    read_artifact,
+    read_manifest,
+    write_artifact,
+)
+from repro.text.normalize import normalize
+from repro.text.tokenize import tokenize
+
+__all__ = ["ARTIFACT_KIND", "LAYOUT_VERSION", "compile_dictionary", "SynonymArtifact"]
+
+ARTIFACT_KIND = "synonym-dictionary"
+LAYOUT_VERSION = 1
+
+_U32 = "I"
+_U64 = "Q"
+_F64 = "d"
+
+
+def _pack(typecode: str, values: Iterable[int | float]) -> bytes:
+    packed = array(typecode)
+    packed.extend(values)
+    return packed.tobytes()
+
+
+def _unpack(typecode: str, block: memoryview) -> array:
+    values = array(typecode)
+    values.frombytes(block)
+    return values
+
+
+class _StringPool:
+    """Deduplicating first-seen-order string pool used at compile time."""
+
+    def __init__(self) -> None:
+        self.strings: list[str] = []
+        self._ids: dict[str, int] = {}
+
+    def intern(self, text: str) -> int:
+        sid = self._ids.get(text)
+        if sid is None:
+            sid = len(self.strings)
+            self._ids[text] = sid
+            self.strings.append(text)
+        return sid
+
+
+def compile_dictionary(
+    dictionary: Iterable[DictionaryEntry],
+    path: str | Path,
+    *,
+    version: str = "1",
+    config_fingerprint: str = "",
+    created_unix: float | None = None,
+) -> ArtifactManifest:
+    """Freeze *dictionary* into an immutable artifact file at *path*.
+
+    *dictionary* is any iterable of :class:`DictionaryEntry` — typically a
+    :class:`~repro.matching.dictionary.SynonymDictionary`.  Entry texts are
+    normalized defensively, so compiling raw (never-added) entries matches
+    dictionary semantics.  The write is atomic (temp file + rename), which
+    is what makes live hot-swap via
+    :meth:`~repro.serving.service.MatchService.reload` safe.
+    """
+    pool = _StringPool()
+    entry_text: list[int] = []
+    entry_entity: list[int] = []
+    entry_source: list[int] = []
+    entry_weight: list[float] = []
+    by_text: dict[int, list[int]] = {}
+    seen: dict[tuple[int, int], int] = {}
+    max_entry_tokens = 0
+
+    for entry in dictionary:
+        text = normalize(entry.text)
+        if not text:
+            continue
+        text_sid = pool.intern(text)
+        entity_sid = pool.intern(entry.entity_id)
+        key = (text_sid, entity_sid)
+        position = seen.get(key)
+        if position is not None:
+            # Same max-weight collapse as SynonymDictionary.add.
+            if float(entry.weight) > entry_weight[position]:
+                entry_source[position] = pool.intern(entry.source)
+                entry_weight[position] = float(entry.weight)
+            continue
+        seen[key] = len(entry_text)
+        by_text.setdefault(text_sid, []).append(len(entry_text))
+        entry_text.append(text_sid)
+        entry_entity.append(entity_sid)
+        entry_source.append(pool.intern(entry.source))
+        entry_weight.append(float(entry.weight))
+
+    token_to_texts: dict[int, set[int]] = {}
+    for text_sid in by_text:
+        tokens = tokenize(pool.strings[text_sid], normalized=True)
+        max_entry_tokens = max(max_entry_tokens, len(tokens))
+        for token in tokens:
+            token_to_texts.setdefault(pool.intern(token), set()).add(text_sid)
+
+    encoded = [text.encode("utf-8") for text in pool.strings]
+    offsets = [0]
+    for raw in encoded:
+        offsets.append(offsets[-1] + len(raw))
+
+    def by_bytes(sid: int) -> bytes:
+        return encoded[sid]
+
+    exact_text = sorted(by_text, key=by_bytes)
+    exact_starts = [0]
+    exact_entries: list[int] = []
+    for text_sid in exact_text:
+        exact_entries.extend(by_text[text_sid])
+        exact_starts.append(len(exact_entries))
+
+    token_text = sorted(token_to_texts, key=by_bytes)
+    token_starts = [0]
+    token_postings: list[int] = []
+    for token_sid in token_text:
+        token_postings.extend(sorted(token_to_texts[token_sid], key=by_bytes))
+        token_starts.append(len(token_postings))
+
+    blocks = {
+        "strings.blob": b"".join(encoded),
+        "strings.offsets": _pack(_U64, offsets),
+        "entries.text": _pack(_U32, entry_text),
+        "entries.entity": _pack(_U32, entry_entity),
+        "entries.source": _pack(_U32, entry_source),
+        "entries.weight": _pack(_F64, entry_weight),
+        "exact.text": _pack(_U32, exact_text),
+        "exact.starts": _pack(_U32, exact_starts),
+        "exact.entries": _pack(_U32, exact_entries),
+        "token.text": _pack(_U32, token_text),
+        "token.starts": _pack(_U32, token_starts),
+        "token.postings": _pack(_U32, token_postings),
+    }
+    return write_artifact(
+        path,
+        blocks,
+        kind=ARTIFACT_KIND,
+        version=version,
+        counts={
+            "entries": len(entry_text),
+            "unique_texts": len(exact_text),
+            "tokens": len(token_text),
+            "strings": len(pool.strings),
+        },
+        extra={
+            "layout_version": LAYOUT_VERSION,
+            "max_entry_tokens": max_entry_tokens,
+            "byteorder": sys.byteorder,
+            "uint_itemsize": array(_U32).itemsize,
+        },
+        config_fingerprint=config_fingerprint,
+        created_unix=created_unix,
+    )
+
+
+class SynonymArtifact:
+    """A compiled dictionary, served straight from its packed arrays.
+
+    Implements :class:`~repro.matching.index.DictionaryIndex`, so it drops
+    into :class:`~repro.matching.matcher.QueryMatcher` (and the segmenter
+    and resolver) wherever a :class:`SynonymDictionary` is accepted — with
+    identical results, pinned by the serving equivalence tests.  Instances
+    are immutable views over one loaded file; strings and entries are
+    decoded lazily and cached.
+    """
+
+    def __init__(self, manifest: ArtifactManifest, blocks: dict[str, memoryview]) -> None:
+        if manifest.kind != ARTIFACT_KIND:
+            raise ArtifactError(f"not a synonym dictionary artifact: {manifest.kind!r}")
+        extra = manifest.extra
+        if extra.get("layout_version", 0) > LAYOUT_VERSION:
+            raise ArtifactError(
+                f"artifact layout {extra.get('layout_version')} is newer than "
+                f"supported ({LAYOUT_VERSION})"
+            )
+        if extra.get("uint_itemsize") != array(_U32).itemsize:
+            raise ArtifactError("artifact was compiled on an incompatible platform")
+        self.manifest = manifest
+        self._blob = blocks["strings.blob"]
+        self._offsets = _unpack(_U64, blocks["strings.offsets"])
+        self._entry_text = _unpack(_U32, blocks["entries.text"])
+        self._entry_entity = _unpack(_U32, blocks["entries.entity"])
+        self._entry_source = _unpack(_U32, blocks["entries.source"])
+        self._entry_weight = _unpack(_F64, blocks["entries.weight"])
+        self._exact_text = _unpack(_U32, blocks["exact.text"])
+        self._exact_starts = _unpack(_U32, blocks["exact.starts"])
+        self._exact_entries = _unpack(_U32, blocks["exact.entries"])
+        self._token_text = _unpack(_U32, blocks["token.text"])
+        self._token_starts = _unpack(_U32, blocks["token.starts"])
+        self._token_postings = _unpack(_U32, blocks["token.postings"])
+        if extra.get("byteorder", sys.byteorder) != sys.byteorder:
+            for values in (
+                self._offsets, self._entry_text, self._entry_entity,
+                self._entry_source, self._entry_weight, self._exact_text,
+                self._exact_starts, self._exact_entries, self._token_text,
+                self._token_starts, self._token_postings,
+            ):
+                values.byteswap()
+        self._strings: dict[int, str] = {}
+        self._entries: dict[int, DictionaryEntry] = {}
+        self._by_entity: dict[str, list[int]] | None = None
+
+    @classmethod
+    def load(cls, path: str | Path, *, verify: bool = True) -> "SynonymArtifact":
+        """Cold-load an artifact: one file read plus flat array copies."""
+        manifest, blocks = read_artifact(path, expected_kind=ARTIFACT_KIND, verify=verify)
+        return cls(manifest, blocks)
+
+    @staticmethod
+    def peek_manifest(path: str | Path) -> ArtifactManifest:
+        """Read an artifact's manifest without loading its payload."""
+        return read_manifest(path)
+
+    # ------------------------------------------------------------------ #
+    # String pool access
+    # ------------------------------------------------------------------ #
+
+    def _string_bytes(self, sid: int) -> memoryview:
+        return self._blob[self._offsets[sid] : self._offsets[sid + 1]]
+
+    def _string(self, sid: int) -> str:
+        cached = self._strings.get(sid)
+        if cached is None:
+            cached = str(self._string_bytes(sid), "utf-8")
+            self._strings[sid] = cached
+        return cached
+
+    def _entry(self, entry_id: int) -> DictionaryEntry:
+        cached = self._entries.get(entry_id)
+        if cached is None:
+            cached = DictionaryEntry(
+                text=self._string(self._entry_text[entry_id]),
+                entity_id=self._string(self._entry_entity[entry_id]),
+                source=self._string(self._entry_source[entry_id]),
+                weight=self._entry_weight[entry_id],
+            )
+            self._entries[entry_id] = cached
+        return cached
+
+    def _find(self, sorted_sids: array, needle: bytes) -> int:
+        """Binary search *needle* in a byte-sorted string-id array (-1 miss)."""
+        lo, hi = 0, len(sorted_sids)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = bytes(self._string_bytes(sorted_sids[mid]))
+            if probe < needle:
+                lo = mid + 1
+            elif probe > needle:
+                hi = mid
+            else:
+                return mid
+        return -1
+
+    # ------------------------------------------------------------------ #
+    # DictionaryIndex protocol
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, text: str) -> list[DictionaryEntry]:
+        """Exact lookup of a (raw or normalized) string."""
+        slot = self._find(self._exact_text, normalize(text).encode("utf-8"))
+        if slot < 0:
+            return []
+        start, end = self._exact_starts[slot], self._exact_starts[slot + 1]
+        return [self._entry(self._exact_entries[i]) for i in range(start, end)]
+
+    def entities_for(self, text: str) -> set[str]:
+        """Entity ids the exact string refers to (empty set when unknown)."""
+        return {entry.entity_id for entry in self.lookup(text)}
+
+    def strings_containing_token(self, token: str) -> set[str]:
+        """Dictionary strings containing *token* (fuzzy-fallback shortlist).
+
+        Like :meth:`SynonymDictionary.strings_containing_token`, the token
+        is looked up raw — callers (the fuzzy fallback) tokenize normalized
+        queries, so tokens are already normalized.
+        """
+        slot = self._find(self._token_text, token.encode("utf-8"))
+        if slot < 0:
+            return set()
+        start, end = self._token_starts[slot], self._token_starts[slot + 1]
+        return {self._string(self._token_postings[i]) for i in range(start, end)}
+
+    def strings_for_entity(self, entity_id: str) -> list[str]:
+        """Every dictionary string referring to *entity_id*."""
+        if self._by_entity is None:
+            grouped: dict[int, list[int]] = {}
+            for entry_id, entity_sid in enumerate(self._entry_entity):
+                grouped.setdefault(entity_sid, []).append(entry_id)
+            self._by_entity = {
+                self._string(entity_sid): ids for entity_sid, ids in grouped.items()
+            }
+        return [
+            self._string(self._entry_text[entry_id])
+            for entry_id in self._by_entity.get(entity_id, ())
+        ]
+
+    @property
+    def max_entry_tokens(self) -> int:
+        """Length (in tokens) of the longest dictionary string (precomputed)."""
+        return int(self.manifest.extra.get("max_entry_tokens", 0))
+
+    def __contains__(self, text: str) -> bool:
+        return self._find(self._exact_text, normalize(text).encode("utf-8")) >= 0
+
+    def __len__(self) -> int:
+        return len(self._entry_text)
+
+    def __iter__(self) -> Iterator[DictionaryEntry]:
+        return (self._entry(entry_id) for entry_id in range(len(self._entry_text)))

@@ -1,0 +1,261 @@
+"""The online serving layer: a query-matching service over one artifact.
+
+:class:`MatchService` is what a production front-end would hold instead of
+a bare :class:`~repro.matching.matcher.QueryMatcher`:
+
+* it **owns the artifact** — constructed from a path, it cold-loads the
+  compiled :class:`~repro.serving.artifact.SynonymArtifact` and builds the
+  matcher over it;
+* it **caches** — results are memoized per *normalized* query in a bounded
+  LRU, so the head of a production query distribution is answered without
+  re-running segmentation or the fuzzy fallback;
+* it **hot-swaps** — :meth:`reload` builds the new artifact, matcher and a
+  fresh cache completely off to the side and then repoints one attribute,
+  so an incremental refresh can publish a new artifact file (atomically,
+  see :mod:`repro.storage.artifact`) and live matching never observes a
+  half-built index; :meth:`maybe_reload` makes that a cheap poll.
+
+The service returns exactly what the underlying matcher returns: the
+equivalence tests pin ``MatchService.match(q) == QueryMatcher.match(q)``
+field for field, cache hit or miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.matching.matcher import EntityMatch, QueryMatcher
+from repro.serving.artifact import SynonymArtifact
+from repro.storage.artifact import ArtifactManifest
+from repro.text.normalize import normalize
+
+__all__ = ["ServiceStats", "MatchService"]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Counters of a :class:`MatchService` since construction."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    reloads: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the result cache (0 when idle)."""
+        if not self.queries:
+            return 0.0
+        return self.cache_hits / self.queries
+
+
+class _LRUCache:
+    """A small bounded LRU map; ``maxsize=0`` disables caching entirely."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict[str, EntityMatch] = OrderedDict()
+
+    def get(self, key: str) -> EntityMatch | None:
+        if self.maxsize <= 0:
+            return None
+        found = self._data.get(key)
+        if found is not None:
+            self._data.move_to_end(key)
+        return found
+
+    def put(self, key: str, value: EntityMatch) -> None:
+        if self.maxsize <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass(frozen=True)
+class _ServingState:
+    """Everything :meth:`MatchService.match` needs, swapped as one unit."""
+
+    artifact: SynonymArtifact
+    matcher: QueryMatcher
+    cache: _LRUCache
+    # (mtime_ns, size, inode) of the loaded file; the inode is what makes
+    # the stamp robust — atomic republication always creates a new inode,
+    # even when size and a coarse-granularity mtime happen to collide.
+    source_stamp: tuple[int, int, int] | None
+
+
+class MatchService:
+    """Serves entity matches from a compiled synonym artifact.
+
+    Parameters
+    ----------
+    artifact:
+        Path to a compiled artifact file, or an already-loaded
+        :class:`SynonymArtifact` (then :meth:`reload` requires a path).
+    cache_size:
+        Maximum number of distinct normalized queries memoized (0 disables
+        the cache).
+    enable_fuzzy / fuzzy_similarity_threshold / fuzzy_containment_threshold:
+        Forwarded to :class:`QueryMatcher`.
+    verify:
+        Verify the artifact's content hash on every (re)load.
+    """
+
+    def __init__(
+        self,
+        artifact: str | Path | SynonymArtifact,
+        *,
+        cache_size: int = 4096,
+        enable_fuzzy: bool = True,
+        fuzzy_similarity_threshold: float = 0.84,
+        fuzzy_containment_threshold: float = 0.6,
+        verify: bool = True,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self.cache_size = cache_size
+        self.enable_fuzzy = enable_fuzzy
+        self.fuzzy_similarity_threshold = fuzzy_similarity_threshold
+        self.fuzzy_containment_threshold = fuzzy_containment_threshold
+        self.verify = verify
+        self._path: Path | None = None
+        self._queries = 0
+        self._cache_hits = 0
+        self._reloads = 0
+        if isinstance(artifact, SynonymArtifact):
+            self._state = self._build_state(artifact, stamp=None)
+        else:
+            self._path = Path(artifact)
+            self._state = self._load_state(self._path)
+
+    # ------------------------------------------------------------------ #
+    # Loading / hot-swap
+    # ------------------------------------------------------------------ #
+
+    def _build_state(
+        self, artifact: SynonymArtifact, *, stamp: tuple[int, int, int] | None
+    ) -> _ServingState:
+        matcher = QueryMatcher(
+            artifact,
+            enable_fuzzy=self.enable_fuzzy,
+            fuzzy_similarity_threshold=self.fuzzy_similarity_threshold,
+            fuzzy_containment_threshold=self.fuzzy_containment_threshold,
+        )
+        return _ServingState(
+            artifact=artifact,
+            matcher=matcher,
+            cache=_LRUCache(self.cache_size),
+            source_stamp=stamp,
+        )
+
+    def _load_state(self, path: Path) -> _ServingState:
+        stat = path.stat()
+        artifact = SynonymArtifact.load(path, verify=self.verify)
+        return self._build_state(
+            artifact, stamp=(stat.st_mtime_ns, stat.st_size, stat.st_ino)
+        )
+
+    def reload(self, path: str | Path | None = None) -> ArtifactManifest:
+        """Load a (possibly new) artifact and atomically swap it in.
+
+        The new artifact, matcher and an empty result cache are fully built
+        before the single attribute assignment that makes them live, so
+        concurrent :meth:`match` calls see either the old state or the new
+        one in full.  Returns the manifest now being served.
+        """
+        if path is not None:
+            self._path = Path(path)
+        if self._path is None:
+            raise ValueError("this service was built from a loaded artifact; pass a path")
+        state = self._load_state(self._path)
+        self._state = state
+        self._reloads += 1
+        return state.artifact.manifest
+
+    def maybe_reload(self) -> bool:
+        """Reload iff the artifact file changed since it was last loaded.
+
+        Cheap enough to call before every batch (one ``stat``); returns
+        True when a swap happened.  Used by ``repro serve --watch``.
+        """
+        if self._path is None:
+            return False
+        state = self._state
+        try:
+            stat = self._path.stat()
+        except FileNotFoundError:
+            return False
+        stamp = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+        if state.source_stamp == stamp:
+            return False
+        self.reload()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Matching
+    # ------------------------------------------------------------------ #
+
+    def match(self, query: str) -> EntityMatch:
+        """Match one query (identical to the underlying matcher's result)."""
+        state = self._state
+        self._queries += 1
+        normalized = normalize(query)
+        cached = state.cache.get(normalized)
+        if cached is None:
+            # Cache under the normalized key: every raw spelling that
+            # normalizes to the same string shares one computed result.
+            cached = state.matcher.match(normalized)
+            state.cache.put(normalized, cached)
+        else:
+            self._cache_hits += 1
+        if cached.query == query:
+            return cached
+        return replace(cached, query=query)
+
+    def match_many(self, queries: Iterable[str]) -> list[EntityMatch]:
+        """Match a batch of queries (order preserved)."""
+        return [self.match(query) for query in queries]
+
+    def coverage(self, queries: Sequence[str]) -> float:
+        """Fraction of *queries* that resolve to at least one entity."""
+        if not queries:
+            return 0.0
+        matched = sum(1 for match in self.match_many(queries) if match.matched)
+        return matched / len(queries)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def artifact(self) -> SynonymArtifact:
+        """The artifact currently being served."""
+        return self._state.artifact
+
+    @property
+    def manifest(self) -> ArtifactManifest:
+        """Manifest of the artifact currently being served."""
+        return self._state.artifact.manifest
+
+    @property
+    def artifact_path(self) -> Path | None:
+        """The file this service (re)loads from, when path-backed."""
+        return self._path
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Query/cache/reload counters since construction."""
+        return ServiceStats(
+            queries=self._queries,
+            cache_hits=self._cache_hits,
+            cache_misses=self._queries - self._cache_hits,
+            reloads=self._reloads,
+        )

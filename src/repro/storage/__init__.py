@@ -8,12 +8,22 @@ uses for those logs and for the mined synonym tables:
   dataclass records (search tuples, click tuples, synonym rows);
 * :mod:`repro.storage.sqlite_store` — an embedded SQLite database with the
   search-log / click-log / synonym schema, supporting the aggregation
-  queries the miner needs without loading everything into memory.
+  queries the miner needs without loading everything into memory;
+* :mod:`repro.storage.artifact` — the single-file binary artifact container
+  (manifest + named blocks + content hash, atomic publication) that the
+  serving layer compiles dictionaries into.
 """
 
 from repro.storage.jsonl import read_jsonl, write_jsonl, append_jsonl
 from repro.storage.sqlite_store import LogDatabase
 from repro.storage.tables import TableSchema, ColumnSpec
+from repro.storage.artifact import (
+    ArtifactError,
+    ArtifactManifest,
+    read_artifact,
+    read_manifest,
+    write_artifact,
+)
 
 __all__ = [
     "read_jsonl",
@@ -22,4 +32,9 @@ __all__ = [
     "LogDatabase",
     "TableSchema",
     "ColumnSpec",
+    "ArtifactError",
+    "ArtifactManifest",
+    "read_artifact",
+    "read_manifest",
+    "write_artifact",
 ]

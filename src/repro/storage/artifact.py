@@ -1,0 +1,255 @@
+"""Single-file binary artifact container: manifest + named byte blocks.
+
+The serving layer publishes compiled dictionaries as *artifacts*: one
+immutable file that a server can cold-load with a single read.  This module
+is the storage-level codec, deliberately ignorant of what the blocks mean
+(the dictionary layout lives in :mod:`repro.serving.artifact`); it handles
+
+* the on-disk framing — magic, container format version, a JSON manifest,
+  then the raw blocks back to back;
+* the **manifest** — artifact kind, a caller-supplied version label,
+  creation time, per-block offsets/lengths, arbitrary ``counts``/``extra``
+  metadata, a config fingerprint and a SHA-256 **content hash** over the
+  block payload (so a half-copied or corrupted artifact is rejected before
+  it ever serves a query);
+* **atomic publication** — artifacts are written to a temp file in the
+  destination directory and ``os.replace``-d into place, so a watcher (the
+  ``serve --watch`` loop, a :class:`~repro.serving.service.MatchService`
+  reload) never observes a half-written file.
+
+Layout::
+
+    8 bytes   magic  b"REPROART"
+    4 bytes   container format version (little-endian u32)
+    4 bytes   manifest length in bytes (little-endian u32)
+    N bytes   manifest JSON (UTF-8)
+    ...       blocks, at the offsets recorded in the manifest
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import struct
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactManifest",
+    "write_artifact",
+    "read_manifest",
+    "read_artifact",
+    "content_hash",
+]
+
+MAGIC = b"REPROART"
+CONTAINER_VERSION = 1
+_HEADER = struct.Struct("<8sII")
+
+
+class ArtifactError(ValueError):
+    """Raised when an artifact file is malformed, truncated or corrupted."""
+
+
+@dataclass(frozen=True)
+class ArtifactManifest:
+    """Everything known about an artifact without touching its payload.
+
+    Attributes
+    ----------
+    kind:
+        What the blocks encode (e.g. ``"synonym-dictionary"``); readers
+        refuse artifacts of the wrong kind.
+    version:
+        Caller-supplied label for *this build* of the artifact — an
+        incremental miner publishes ``gen-1``, ``gen-2`` … so a server can
+        tell which refresh it is serving.
+    created_unix:
+        Wall-clock publication time (not part of the content hash, so
+        re-publishing identical data still hashes identically).
+    counts / extra:
+        Free-form metadata (entry counts, ``max_entry_tokens`` …).
+    config_fingerprint:
+        Hash of the producing configuration; lets operators detect an
+        artifact mined with stale thresholds.
+    content_hash:
+        ``sha256`` over the ordered block names and payloads.
+    blocks:
+        name → (offset, length); offsets are absolute file positions.
+    """
+
+    kind: str
+    version: str
+    created_unix: float
+    counts: dict[str, int] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+    config_fingerprint: str = ""
+    content_hash: str = ""
+    container_version: int = CONTAINER_VERSION
+    blocks: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = dataclasses.asdict(self)
+        payload["blocks"] = {name: list(span) for name, span in self.blocks.items()}
+        return json.dumps(payload, ensure_ascii=False, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ArtifactManifest":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError("artifact manifest is not valid JSON") from exc
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ArtifactError(f"artifact manifest has unknown fields: {sorted(unknown)}")
+        payload["blocks"] = {
+            name: (int(offset), int(length))
+            for name, (offset, length) in payload.get("blocks", {}).items()
+        }
+        return cls(**payload)
+
+
+def content_hash(blocks: Mapping[str, bytes | memoryview]) -> str:
+    """SHA-256 over block names and payloads in sorted-name order."""
+    digest = hashlib.sha256()
+    for name in sorted(blocks):
+        digest.update(name.encode("utf-8"))
+        digest.update(struct.pack("<Q", len(blocks[name])))
+        digest.update(blocks[name])
+    return digest.hexdigest()
+
+
+def write_artifact(
+    path: str | Path,
+    blocks: Mapping[str, bytes],
+    *,
+    kind: str,
+    version: str = "1",
+    counts: Mapping[str, int] | None = None,
+    extra: Mapping[str, Any] | None = None,
+    config_fingerprint: str = "",
+    created_unix: float | None = None,
+) -> ArtifactManifest:
+    """Atomically write *blocks* (plus their manifest) to *path*.
+
+    The file appears under its final name only when fully written and
+    fsync-ed, so concurrent readers see either the old artifact or the new
+    one, never a torn mix.  Returns the manifest that was embedded.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    manifest = ArtifactManifest(
+        kind=kind,
+        version=version,
+        created_unix=time.time() if created_unix is None else created_unix,
+        counts=dict(counts or {}),
+        extra=dict(extra or {}),
+        config_fingerprint=config_fingerprint,
+        content_hash=content_hash(blocks),
+    )
+    # Offsets depend on the manifest length, which depends on the offsets'
+    # digit count.  Fix-point in at most a couple of rounds: serialize with
+    # placeholder offsets, recompute, repeat until stable.
+    names = sorted(blocks)
+    spans = {name: (0, len(blocks[name])) for name in names}
+    while True:
+        candidate = dataclasses.replace(manifest, blocks=spans)
+        header_len = _HEADER.size + len(candidate.to_json().encode("utf-8"))
+        cursor = header_len
+        recomputed: dict[str, tuple[int, int]] = {}
+        for name in names:
+            recomputed[name] = (cursor, len(blocks[name]))
+            cursor += len(blocks[name])
+        if recomputed == spans:
+            manifest = candidate
+            break
+        spans = recomputed
+
+    manifest_bytes = manifest.to_json().encode("utf-8")
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(_HEADER.pack(MAGIC, CONTAINER_VERSION, len(manifest_bytes)))
+            handle.write(manifest_bytes)
+            for name in names:
+                handle.write(blocks[name])
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return manifest
+
+
+def _parse_header(data: bytes, source: str) -> tuple[ArtifactManifest, int]:
+    if len(data) < _HEADER.size:
+        raise ArtifactError(f"{source}: too short to be an artifact")
+    magic, container_version, manifest_len = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ArtifactError(f"{source}: bad magic (not a repro artifact)")
+    if container_version > CONTAINER_VERSION:
+        raise ArtifactError(
+            f"{source}: container version {container_version} is newer than "
+            f"supported ({CONTAINER_VERSION})"
+        )
+    end = _HEADER.size + manifest_len
+    if len(data) < end:
+        raise ArtifactError(f"{source}: truncated manifest")
+    manifest = ArtifactManifest.from_json(data[_HEADER.size : end].decode("utf-8"))
+    return manifest, end
+
+
+def read_manifest(path: str | Path) -> ArtifactManifest:
+    """Read only the header + manifest of an artifact (cheap peek)."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        head = handle.read(_HEADER.size)
+        if len(head) < _HEADER.size:
+            raise ArtifactError(f"{path}: too short to be an artifact")
+        magic, container_version, manifest_len = _HEADER.unpack(head)
+        manifest_bytes = handle.read(manifest_len)
+    return _parse_header(head + manifest_bytes, str(path))[0]
+
+
+def read_artifact(
+    path: str | Path, *, expected_kind: str | None = None, verify: bool = True
+) -> tuple[ArtifactManifest, dict[str, memoryview]]:
+    """Load an artifact with one read; blocks come back as zero-copy views.
+
+    With ``verify=True`` (the default) the content hash is recomputed and a
+    mismatch raises :class:`ArtifactError`; pass ``verify=False`` to skip
+    the hash for trusted local files.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    manifest, _ = _parse_header(data, str(path))
+    if expected_kind is not None and manifest.kind != expected_kind:
+        raise ArtifactError(
+            f"{path}: artifact kind {manifest.kind!r}, expected {expected_kind!r}"
+        )
+    view = memoryview(data)
+    blocks: dict[str, memoryview] = {}
+    for name, (offset, length) in manifest.blocks.items():
+        if offset + length > len(data):
+            raise ArtifactError(f"{path}: block {name!r} extends past end of file")
+        blocks[name] = view[offset : offset + length]
+    if verify:
+        # hashlib consumes memoryviews directly — no payload copy here.
+        observed = content_hash(blocks)
+        if observed != manifest.content_hash:
+            raise ArtifactError(
+                f"{path}: content hash mismatch (file corrupted or half-copied)"
+            )
+    return manifest, blocks

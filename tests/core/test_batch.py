@@ -14,7 +14,15 @@ import pytest
 
 from repro.clicklog.log import ClickLog, SearchLog
 from repro.clicklog.records import ClickRecord, SearchRecord
-from repro.core.batch import BatchMiner, BatchProgress, CacheStats, FrozenClickIndex
+from repro.core.batch import (
+    BatchMiner,
+    BatchProgress,
+    CacheStats,
+    FrozenClickIndex,
+    _mine_shard,
+    _pack_entry,
+    _unpack_entry,
+)
 from repro.core.config import MinerConfig
 from repro.core.incremental import IncrementalSynonymMiner
 from repro.core.pipeline import SynonymMiner
@@ -297,3 +305,85 @@ class TestIncrementalEquivalence:
             assert (
                 incremental.result[canonical].selected == scratch[canonical].selected
             )
+
+
+class TestCompactShardTransfer:
+    """Process workers ship packed tuples, not whole dataclass graphs."""
+
+    def _mined_entries(self, toy_world):
+        miner = SynonymMiner(
+            click_log=toy_world.click_log,
+            search_log=toy_world.search_log,
+            config=CONFIG,
+        )
+        return [
+            miner.mine_one(value) for value in toy_world.canonical_queries()[:10]
+        ]
+
+    def test_pack_unpack_round_trip(self, toy_world):
+        for entry in self._mined_entries(toy_world):
+            restored = _unpack_entry(_pack_entry(entry))
+            assert restored.canonical == entry.canonical
+            assert restored.surrogates == entry.surrogates
+            assert restored.candidates == entry.candidates
+            assert restored.selected == entry.selected
+
+    def test_unpacked_selected_alias_candidates(self, toy_world):
+        # Selected entries must be the same objects as their candidate rows,
+        # mirroring what mine_entity produces, not equal copies.
+        for entry in self._mined_entries(toy_world):
+            restored = _unpack_entry(_pack_entry(entry))
+            for selected in restored.selected:
+                assert any(selected is candidate for candidate in restored.candidates)
+
+    def test_packed_payload_is_smaller(self, toy_world):
+        entries = self._mined_entries(toy_world)
+        assert any(entry.selected for entry in entries)
+        packed = [_pack_entry(entry) for entry in entries]
+        dataclass_payload = len(pickle.dumps(entries))
+        packed_payload = len(pickle.dumps(packed))
+        # The tuple encoding must shrink the worker→parent transfer even on
+        # the toy world, where unique long URLs (which pickle cannot dedup
+        # away) put a high floor under both encodings.
+        assert packed_payload < dataclass_payload * 0.9, (
+            packed_payload,
+            dataclass_payload,
+        )
+
+    def test_packed_payload_shrinks_hard_on_shared_candidates(self):
+        # The production shape: broad head queries whose click footprint
+        # crosses many entities' surrogate hubs.  Intersections are wide, so
+        # shipping them as surrogate indices instead of URL strings is the
+        # bulk of the win.
+        hub_urls = [f"https://hub{i}.example/very/long/portal/path" for i in range(20)]
+        search = SearchLog.from_tuples(
+            (f"entity {e:02d}", url, rank)
+            for e in range(30)
+            for rank, url in enumerate(hub_urls[:10], start=1)
+        )
+        clicks = ClickLog.from_tuples(
+            [(f"hot query {q}", url, 3) for q in range(8) for url in hub_urls]
+            + [(f"entity {e:02d}", hub_urls[0], 2) for e in range(30)]
+        )
+        index = FrozenClickIndex.from_logs(clicks, search)
+        entries = _mine_shard(
+            index, CONFIG, [f"entity {e:02d}" for e in range(30)]
+        )
+        assert any(entry.candidates for entry in entries)
+        packed = [_pack_entry(entry) for entry in entries]
+        dataclass_payload = len(pickle.dumps(entries))
+        packed_payload = len(pickle.dumps(packed))
+        assert packed_payload < dataclass_payload * 0.75, (
+            packed_payload,
+            dataclass_payload,
+        )
+
+    def test_process_backend_still_identical(self, toy_world, toy_serial_result):
+        batch = BatchMiner(
+            click_log=toy_world.click_log,
+            search_log=toy_world.search_log,
+            config=CONFIG,
+            workers=2,
+            backend="process",
+        )
+        assert_results_identical(batch.mine(toy_world.canonical_queries()), toy_serial_result)

@@ -53,6 +53,46 @@ class TestAdd:
         )
         assert len(dictionary) == 1
 
+    def test_duplicate_keeps_max_weight(self):
+        # Canonical (weight 1.0) first, then the mined entry carrying real
+        # click evidence: the dictionary must keep the heavier entry, not
+        # silently drop it because the string was already present.
+        dictionary = SynonymDictionary(
+            [
+                DictionaryEntry("indy 4", "m1", source="canonical", weight=1.0),
+                DictionaryEntry("indy 4", "m1", source="mined", weight=120.0),
+            ]
+        )
+        assert len(dictionary) == 1
+        (entry,) = dictionary.lookup("indy 4")
+        assert entry.weight == 120.0
+        assert entry.source == "mined"
+
+    def test_duplicate_with_lower_weight_ignored(self):
+        dictionary = SynonymDictionary(
+            [
+                DictionaryEntry("indy 4", "m1", source="mined", weight=120.0),
+                DictionaryEntry("indy 4", "m1", source="manual", weight=2.0),
+            ]
+        )
+        (entry,) = dictionary.lookup("indy 4")
+        assert entry.weight == 120.0
+        assert entry.source == "mined"
+
+    def test_duplicate_never_skews_token_shortlist(self):
+        dictionary = SynonymDictionary(
+            [
+                DictionaryEntry("indy 4", "m1", weight=1.0),
+                DictionaryEntry("indy 4", "m1", weight=50.0),
+                DictionaryEntry("indy 4", "m2", weight=3.0),
+            ]
+        )
+        # One string, two entities — iteration and the exact bucket hold
+        # exactly one entry per (text, entity) pair.
+        assert len(dictionary) == 2
+        assert len(dictionary.lookup("indy 4")) == 2
+        assert dictionary.strings_containing_token("indy") == {"indy 4"}
+
     def test_same_string_two_entities_kept(self):
         dictionary = SynonymDictionary(
             [DictionaryEntry("shared", "m1"), DictionaryEntry("shared", "m2")]

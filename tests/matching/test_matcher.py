@@ -73,6 +73,38 @@ class TestFuzzyMatching:
         with pytest.raises(ValueError):
             QueryMatcher(dictionary, fuzzy_containment_threshold=-0.1)
 
+    def test_query_empty_after_normalization(self, matcher):
+        # Punctuation-only input normalizes to "" and must short-circuit to
+        # NO_MATCH before segmentation or the fuzzy fallback ever run.
+        for query in ("!!!", "  ...  ", "-_-", "'"):
+            match = matcher.match(query)
+            assert match.outcome is MatchOutcome.NO_MATCH, query
+            assert match.query == query
+            assert not match.matched
+
+    def test_token_hit_but_every_candidate_below_threshold(self, dictionary):
+        # "madagascar holiday rentals" shortlists dictionary strings through
+        # the shared "madagascar" token, but every candidate fails the
+        # similarity threshold — the fallback must return NO_MATCH rather
+        # than the least-bad candidate.
+        matcher = QueryMatcher(dictionary, fuzzy_similarity_threshold=0.95)
+        query = "madagascar holiday rentals"
+        shortlist = dictionary.strings_containing_token("madagascar")
+        assert shortlist, "precondition: the token index must produce candidates"
+        match = matcher.match(query)
+        assert match.outcome is MatchOutcome.NO_MATCH
+        assert match.entity_ids == frozenset()
+
+    def test_containment_filter_rejects_before_similarity(self, dictionary):
+        # A candidate sharing one token out of many is dropped by the
+        # containment gate even with a permissive similarity threshold.
+        permissive = QueryMatcher(
+            dictionary,
+            fuzzy_similarity_threshold=0.0,
+            fuzzy_containment_threshold=1.0,
+        )
+        assert permissive.match("madagascar x").outcome is MatchOutcome.NO_MATCH
+
 
 class TestBatchAndCoverage:
     def test_match_all_preserves_order(self, matcher):

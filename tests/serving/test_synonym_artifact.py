@@ -1,0 +1,148 @@
+"""Tests for compiled synonym artifacts."""
+
+import pytest
+
+from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
+from repro.matching.index import DictionaryIndex
+from repro.serving.artifact import ARTIFACT_KIND, SynonymArtifact, compile_dictionary
+from repro.storage.artifact import ArtifactError, write_artifact
+
+ENTRIES = [
+    DictionaryEntry("indiana jones and the kingdom of the crystal skull", "m1", "canonical"),
+    DictionaryEntry("indy 4", "m1", "mined", 120.0),
+    DictionaryEntry("indiana jones 4", "m1", "mined", 80.0),
+    DictionaryEntry("madagascar escape 2 africa", "m2", "canonical"),
+    DictionaryEntry("madagascar 2", "m2", "mined", 200.0),
+    DictionaryEntry("shared name", "m1", "mined", 5.0),
+    DictionaryEntry("shared name", "m2", "mined", 9.0),
+]
+
+
+@pytest.fixture()
+def dictionary():
+    return SynonymDictionary(ENTRIES)
+
+
+@pytest.fixture()
+def artifact(dictionary, tmp_path):
+    path = tmp_path / "dict.synart"
+    compile_dictionary(dictionary, path, version="v1", config_fingerprint="f00d")
+    return SynonymArtifact.load(path)
+
+
+class TestCompile:
+    def test_manifest_counts(self, dictionary, tmp_path):
+        manifest = compile_dictionary(dictionary, tmp_path / "d.synart")
+        assert manifest.kind == ARTIFACT_KIND
+        assert manifest.counts["entries"] == len(dictionary)
+        assert manifest.counts["unique_texts"] == 6
+        assert manifest.extra["max_entry_tokens"] == dictionary.max_entry_tokens
+
+    def test_version_and_fingerprint_recorded(self, artifact):
+        assert artifact.manifest.version == "v1"
+        assert artifact.manifest.config_fingerprint == "f00d"
+
+    def test_compile_normalizes_raw_entries(self, tmp_path):
+        path = tmp_path / "raw.synart"
+        compile_dictionary(
+            [DictionaryEntry("  Indy 4!! ", "m1"), DictionaryEntry("   ", "m2")], path
+        )
+        artifact = SynonymArtifact.load(path)
+        assert len(artifact) == 1
+        assert artifact.entities_for("indy 4") == {"m1"}
+
+    def test_compile_collapses_duplicates_to_max_weight(self, tmp_path):
+        path = tmp_path / "dup.synart"
+        compile_dictionary(
+            [
+                DictionaryEntry("indy 4", "m1", "canonical", 1.0),
+                DictionaryEntry("indy 4", "m1", "mined", 120.0),
+                DictionaryEntry("indy 4", "m1", "manual", 3.0),
+            ],
+            path,
+        )
+        artifact = SynonymArtifact.load(path)
+        (entry,) = artifact.lookup("indy 4")
+        assert (entry.weight, entry.source) == (120.0, "mined")
+
+    def test_empty_dictionary(self, tmp_path):
+        path = tmp_path / "empty.synart"
+        compile_dictionary(SynonymDictionary(), path)
+        artifact = SynonymArtifact.load(path)
+        assert len(artifact) == 0
+        assert artifact.lookup("anything") == []
+        assert artifact.max_entry_tokens == 0
+        assert list(artifact) == []
+
+    def test_recompile_is_deterministic(self, dictionary, tmp_path):
+        first = compile_dictionary(dictionary, tmp_path / "a.synart")
+        second = compile_dictionary(dictionary, tmp_path / "b.synart")
+        assert first.content_hash == second.content_hash
+
+
+class TestDictionaryIndexProtocol:
+    def test_artifact_satisfies_protocol(self, artifact, dictionary):
+        assert isinstance(artifact, DictionaryIndex)
+        assert isinstance(dictionary, DictionaryIndex)
+
+    def test_entries_survive_round_trip(self, artifact, dictionary):
+        assert list(artifact) == list(dictionary)
+
+    def test_lookup_matches_dictionary(self, artifact, dictionary):
+        for entry in dictionary:
+            assert artifact.lookup(entry.text) == dictionary.lookup(entry.text)
+        assert artifact.lookup("not in there") == []
+
+    def test_lookup_normalizes_input(self, artifact):
+        assert artifact.entities_for("  Indy 4! ") == {"m1"}
+
+    def test_contains(self, artifact):
+        assert "indy 4" in artifact
+        assert "INDY 4" in artifact
+        assert "missing" not in artifact
+
+    def test_ambiguous_string_keeps_all_entities(self, artifact):
+        assert artifact.entities_for("shared name") == {"m1", "m2"}
+
+    def test_token_shortlist_matches_dictionary(self, artifact, dictionary):
+        tokens = {token for entry in dictionary for token in entry.text.split()}
+        for token in tokens:
+            assert artifact.strings_containing_token(token) == (
+                dictionary.strings_containing_token(token)
+            ), token
+        assert artifact.strings_containing_token("zzz") == set()
+        # Tokens are looked up raw (not normalized) on both implementations.
+        assert artifact.strings_containing_token("Indy") == (
+            dictionary.strings_containing_token("Indy")
+        ) == set()
+
+    def test_strings_for_entity_matches_dictionary(self, artifact, dictionary):
+        for entity_id in ("m1", "m2", "ghost"):
+            assert artifact.strings_for_entity(entity_id) == (
+                dictionary.strings_for_entity(entity_id)
+            )
+
+    def test_max_entry_tokens_precomputed(self, artifact, dictionary):
+        assert artifact.max_entry_tokens == dictionary.max_entry_tokens
+
+
+class TestLoadValidation:
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "other.art"
+        write_artifact(path, {}, kind="something-else")
+        with pytest.raises(ArtifactError):
+            SynonymArtifact.load(path)
+
+    def test_corrupted_artifact_rejected(self, dictionary, tmp_path):
+        path = tmp_path / "corrupt.synart"
+        compile_dictionary(dictionary, path)
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0x55
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="hash"):
+            SynonymArtifact.load(path)
+
+    def test_peek_manifest_without_loading(self, dictionary, tmp_path):
+        path = tmp_path / "peek.synart"
+        written = compile_dictionary(dictionary, path, version="peeked")
+        assert SynonymArtifact.peek_manifest(path) == written

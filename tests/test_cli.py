@@ -168,3 +168,183 @@ class TestBatchMineCLI:
             ]
         )
         assert args.workers == 4 and args.shard_size == 100 and args.backend == "process"
+
+
+class TestCompileAndServeCLI:
+    @pytest.fixture(scope="class")
+    def workdir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("cli-serve")
+
+    @pytest.fixture(scope="class")
+    def simulated(self, workdir):
+        assert main(
+            [
+                "simulate", "--dataset", "toy", "--entities", "10",
+                "--sessions", "3000", "--output", str(workdir / "logs"),
+            ]
+        ) == 0
+        return workdir / "logs"
+
+    @pytest.fixture(scope="class")
+    def mined(self, simulated, workdir):
+        output = workdir / "synonyms.jsonl"
+        assert main(
+            [
+                "mine",
+                "--search", str(simulated / "search_data.jsonl"),
+                "--clicks", str(simulated / "click_data.jsonl"),
+                "--values", str(simulated / "values.txt"),
+                "--output", str(output),
+                "--ipc", "3", "--icr", "0.1",
+            ]
+        ) == 0
+        return output
+
+    @pytest.fixture(scope="class")
+    def compiled(self, mined, workdir):
+        artifact = workdir / "dict.synart"
+        assert main(
+            [
+                "compile", "--synonyms", str(mined),
+                "--output", str(artifact), "--version-label", "cli-v1",
+            ]
+        ) == 0
+        return artifact
+
+    def test_compile_writes_valid_artifact(self, compiled):
+        from repro.serving.artifact import SynonymArtifact
+
+        manifest = SynonymArtifact.peek_manifest(compiled)
+        assert manifest.version == "cli-v1"
+        assert manifest.counts["entries"] > 0
+
+    def test_match_artifact_equals_match_synonyms(self, mined, compiled, capsys):
+        rows = list(read_jsonl(mined))
+        queries = sorted({row["synonym"] for row in rows})[:10]
+        assert main(["match", "--synonyms", str(mined), *queries]) == 0
+        from_jsonl = capsys.readouterr().out
+        assert main(["match", "--artifact", str(compiled), *queries]) == 0
+        from_artifact = capsys.readouterr().out
+        assert from_artifact == from_jsonl
+        assert '"matched": true' in from_artifact
+
+    def test_match_requires_exactly_one_source(self, mined, compiled):
+        with pytest.raises(SystemExit):
+            main(["match", "some query"])
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "match", "--synonyms", str(mined),
+                    "--artifact", str(compiled), "some query",
+                ]
+            )
+
+    def test_match_stdin_reports_ambiguous_entities(self, workdir, capsys, monkeypatch):
+        import io
+
+        # One synonym shared by two canonicals: the match must surface both
+        # entity ids, exactly as a result page would show both candidates.
+        ambiguous = workdir / "ambiguous.jsonl"
+        with ambiguous.open("w", encoding="utf-8") as handle:
+            for canonical in ("alpha movie", "alpha camera"):
+                handle.write(
+                    json.dumps(
+                        {
+                            "canonical": canonical, "synonym": "alpha",
+                            "ipc": 5, "icr": 0.5, "clicks": 10,
+                        }
+                    )
+                    + "\n"
+                )
+        monkeypatch.setattr("sys.stdin", io.StringIO("alpha\n"))
+        assert main(["match", "--synonyms", str(ambiguous)]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["matched"] is True
+        assert payload["outcome"] == "exact"
+        assert payload["entities"] == ["alpha camera", "alpha movie"]
+
+    def test_serve_from_query_file(self, mined, compiled, workdir, capsys):
+        rows = list(read_jsonl(mined))
+        queries_file = workdir / "queries.txt"
+        queries_file.write_text(
+            rows[0]["synonym"] + "\n\n" + "unmatched zzz query\n", encoding="utf-8"
+        )
+        assert main(
+            ["serve", "--artifact", str(compiled), "--queries", str(queries_file)]
+        ) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["matched"] is True
+        assert lines[1]["matched"] is False
+        assert "latency p50" in captured.err
+        assert "artifact version cli-v1" in captured.err
+
+    def test_serve_reads_stdin(self, mined, compiled, capsys, monkeypatch):
+        import io
+
+        rows = list(read_jsonl(mined))
+        monkeypatch.setattr("sys.stdin", io.StringIO(rows[0]["synonym"] + "\n"))
+        assert main(["serve", "--artifact", str(compiled)]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out.strip())["matched"] is True
+
+    def test_serve_cache_hits_reported(self, mined, compiled, workdir, capsys):
+        rows = list(read_jsonl(mined))
+        queries_file = workdir / "repeat.txt"
+        queries_file.write_text((rows[0]["synonym"] + "\n") * 5, encoding="utf-8")
+        assert main(
+            ["serve", "--artifact", str(compiled), "--queries", str(queries_file)]
+        ) == 0
+        assert "cache hit rate 80.0% (4/5)" in capsys.readouterr().err
+
+    def test_serve_watch_hot_swaps(self, mined, compiled, workdir, capsys, monkeypatch):
+        import io
+
+        from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
+        from repro.serving.artifact import compile_dictionary
+
+        artifact = workdir / "swap.synart"
+        compile_dictionary(
+            SynonymDictionary([DictionaryEntry("old synonym", "e1", "mined", 5.0)]),
+            artifact,
+            version="gen-1",
+        )
+
+        def feeding_stdin():
+            text = "".join(["old synonym\n", "fresh synonym\n"])
+            return io.StringIO(text)
+
+        # Republish between the two queries by hooking the reload poll: the
+        # first maybe_reload sees gen-1, then we atomically replace the file.
+        republished = {"done": False}
+        from repro.serving.service import MatchService
+
+        original = MatchService.maybe_reload
+
+        def republish_then_poll(self):
+            result = original(self)
+            if not republished["done"]:
+                republished["done"] = True
+                compile_dictionary(
+                    SynonymDictionary(
+                        [DictionaryEntry("fresh synonym", "e2", "mined", 9.0)]
+                    ),
+                    artifact,
+                    version="gen-2",
+                )
+            return result
+
+        monkeypatch.setattr(MatchService, "maybe_reload", republish_then_poll)
+        monkeypatch.setattr("sys.stdin", feeding_stdin())
+        assert main(["serve", "--artifact", str(artifact), "--watch"]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert lines[0]["matched"] is True          # served by gen-1
+        assert lines[1]["entities"] == ["e2"]       # served by gen-2 after swap
+        assert "reloads 1" in captured.err
+        assert "artifact version gen-2" in captured.err
+
+    def test_serve_rejects_negative_cache_size(self, compiled):
+        with pytest.raises(SystemExit, match="cache-size"):
+            main(["serve", "--artifact", str(compiled), "--cache-size", "-1"])
