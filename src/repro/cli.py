@@ -1,7 +1,7 @@
 """Command-line interface.
 
-Six subcommands cover the offline *and* online workflow end to end without
-writing any Python:
+Seven subcommands cover the offline *and* online workflow end to end
+without writing any Python:
 
 * ``simulate``    — build a simulated world and dump its catalog, Search
   Data and Click Data as JSONL files (the shape a real log-delivery
@@ -12,13 +12,20 @@ writing any Python:
   profile cache (``--shard-size``, ``--backend`` tune the pool);
 * ``compile``     — freeze a mined synonyms JSONL into a compiled serving
   artifact (one immutable file, cold-loadable in one read);
+  ``--priors CLICKS_JSONL`` embeds per-entity click priors so ``server``
+  can rank ambiguous matches without the log;
 * ``match``       — match live queries (arguments or stdin) against a
   mined dictionary, from ``--synonyms`` JSONL (rebuilt in memory) or a
   compiled ``--artifact`` (fast path);
 * ``serve``       — run a :class:`~repro.serving.service.MatchService`
   over a compiled artifact: queries from a file or stdin, JSONL results
   on stdout, latency percentiles on stderr, ``--watch`` hot-swaps when
-  the artifact file is re-published;
+  the artifact file is re-published; SIGINT/SIGTERM end the stream
+  cleanly with the summary flushed;
+* ``server``      — run the long-lived HTTP/JSON match daemon
+  (:mod:`repro.server`) over a compiled artifact: ``/match``,
+  ``/resolve``, ``/healthz``, ``/stats``, ``/admin/reload``, with a
+  background watcher hot-swapping republished artifacts;
 * ``experiments`` — regenerate Figure 2, Figure 3 and Table I as text.
 
 Invoke as ``python -m repro <subcommand> ...``.
@@ -27,8 +34,10 @@ Invoke as ``python -m repro <subcommand> ...``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import math
+import signal
 import sys
 import time
 from pathlib import Path
@@ -42,6 +51,7 @@ from repro.core.pipeline import SynonymMiner
 from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
 from repro.matching.index import DictionaryIndex
 from repro.matching.matcher import EntityMatch, QueryMatcher
+from repro.server.daemon import DEFAULT_PORT, MatchDaemon, match_payload
 from repro.serving.artifact import SynonymArtifact, compile_dictionary
 from repro.serving.service import MatchService
 from repro.simulation.scenario import ScenarioConfig, build_world
@@ -114,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--version-label", default="1",
         help="version label recorded in the artifact manifest (default: 1)",
     )
+    compile_.add_argument(
+        "--priors", type=Path, default=None, metavar="CLICKS_JSONL",
+        help="click data JSONL (query,url,clicks); embeds per-entity click "
+             "priors so `server` ranks ambiguous matches offline",
+    )
 
     match = subparsers.add_parser("match", help="match live queries against a mined dictionary")
     match_source = match.add_mutually_exclusive_group(required=True)
@@ -141,6 +156,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--watch", action="store_true",
         help="re-load the artifact when its file changes (hot swap between queries)",
+    )
+
+    server = subparsers.add_parser(
+        "server", help="run the long-lived HTTP/JSON match daemon over a compiled artifact"
+    )
+    server.add_argument("--artifact", type=Path, required=True, help="compiled artifact file")
+    server.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    server.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"bind port, 0 picks a free one (default {DEFAULT_PORT})",
+    )
+    server.add_argument("--no-fuzzy", action="store_true", help="disable the fuzzy fallback")
+    server.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="LRU result cache size, 0 disables (default 4096)",
+    )
+    server.add_argument(
+        "--watch-interval", type=float, default=2.0,
+        help="seconds between artifact hot-swap polls, 0 disables the watcher (default 2)",
+    )
+    server.add_argument(
+        "--max-batch", type=_positive_int, default=1024,
+        help="largest accepted 'queries' batch per request (default 1024)",
     )
 
     experiments = subparsers.add_parser(
@@ -274,14 +312,12 @@ def _dictionary_from_synonyms(path: Path) -> SynonymDictionary:
 
 
 def _match_payload(query: str, match: EntityMatch) -> dict:
-    return {
-        "query": query,
-        "matched": match.matched,
-        "outcome": match.outcome.value,
-        "entities": sorted(match.entity_ids),
-        "matched_text": match.matched_text,
-        "remainder": match.remainder,
-    }
+    # One wire shape everywhere: the daemon's match_payload is the single
+    # source of truth, so `match`/`serve` JSONL and the HTTP endpoints
+    # stay field-for-field interchangeable.
+    payload = match_payload(match)
+    payload["query"] = query
+    return payload
 
 
 def _iter_query_lines(path: Path | None) -> Iterator[str]:
@@ -295,13 +331,23 @@ def _iter_query_lines(path: Path | None) -> Iterator[str]:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     dictionary = _dictionary_from_synonyms(args.synonyms)
+    click_log = None
+    if args.priors is not None:
+        click_log = ClickLog(
+            ClickRecord(row["query"], row["url"], row["clicks"])
+            for row in read_jsonl(args.priors)
+        )
     manifest = compile_dictionary(
-        dictionary, args.output, version=args.version_label
+        dictionary, args.output, version=args.version_label, click_log=click_log
     )
     size = args.output.stat().st_size
+    priors_note = (
+        f", {manifest.counts['prior_entities']} entity priors" if click_log is not None else ""
+    )
     print(
         f"compiled {manifest.counts['entries']} entries "
-        f"({manifest.counts['unique_texts']} strings, {manifest.counts['tokens']} tokens) "
+        f"({manifest.counts['unique_texts']} strings, {manifest.counts['tokens']} tokens"
+        f"{priors_note}) "
         f"-> {args.output} [{size} bytes, version {manifest.version}, "
         f"sha256 {manifest.content_hash[:12]}]"
     )
@@ -330,6 +376,37 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
+class _GracefulExit(Exception):
+    """Raised by the SIGINT/SIGTERM handlers installed for streaming serve."""
+
+
+@contextlib.contextmanager
+def _graceful_signals():
+    """Map SIGINT/SIGTERM to :class:`_GracefulExit` inside the block.
+
+    Streaming `serve` and the daemon both promise a clean shutdown (final
+    stats flushed, exit code 0) instead of a KeyboardInterrupt traceback
+    when the operator hits Ctrl-C or systemd sends SIGTERM.
+    """
+
+    def _raise(signum, _frame):
+        raise _GracefulExit(signal.Signals(signum).name)
+
+    previous = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, _raise)
+    except ValueError:
+        # Not the main thread (e.g. tests driving main() from a worker):
+        # signals cannot be installed there; run unprotected.
+        pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.cache_size < 0:
         raise SystemExit("repro serve: error: --cache-size must be >= 0")
@@ -337,13 +414,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.artifact, cache_size=args.cache_size, enable_fuzzy=not args.no_fuzzy
     )
     latencies: list[float] = []
-    for query in _iter_query_lines(args.queries):
-        if args.watch:
-            service.maybe_reload()
-        started = time.perf_counter()
-        match = service.match(query)
-        latencies.append(time.perf_counter() - started)
-        print(json.dumps(_match_payload(query, match), ensure_ascii=False), flush=True)
+    interrupted = ""
+    try:
+        with _graceful_signals():
+            for query in _iter_query_lines(args.queries):
+                if args.watch:
+                    service.maybe_reload()
+                started = time.perf_counter()
+                match = service.match(query)
+                latencies.append(time.perf_counter() - started)
+                print(json.dumps(_match_payload(query, match), ensure_ascii=False), flush=True)
+    except (_GracefulExit, KeyboardInterrupt) as exc:
+        interrupted = str(exc) or "SIGINT"
 
     stats = service.stats
     summary = [f"served {stats.queries} queries from {args.artifact}"]
@@ -361,8 +443,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"cache hit rate {stats.hit_rate:.1%} ({stats.cache_hits}/{stats.queries}), "
         f"reloads {stats.reloads}, artifact version {service.manifest.version}"
     )
-    print("\n".join(summary), file=sys.stderr)
+    if interrupted:
+        summary.append(f"stopped by {interrupted}")
+    print("\n".join(summary), file=sys.stderr, flush=True)
     return 0
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    if args.cache_size < 0:
+        raise SystemExit("repro server: error: --cache-size must be >= 0")
+    if args.watch_interval < 0:
+        raise SystemExit("repro server: error: --watch-interval must be >= 0")
+    daemon = MatchDaemon(
+        args.artifact,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        enable_fuzzy=not args.no_fuzzy,
+        watch_interval=args.watch_interval,
+        max_batch=args.max_batch,
+    )
+    watch_note = (
+        f"watching {args.artifact} every {args.watch_interval:g}s"
+        if args.watch_interval > 0
+        else "watcher disabled"
+    )
+    # The address line is machine-readable on purpose: with --port 0 it is
+    # the only way a wrapper (tests, CI) learns the bound port.
+    print(
+        f"repro server listening on {daemon.address} "
+        f"[artifact version {daemon.service.manifest.version}, {watch_note}]",
+        flush=True,
+    )
+    return daemon.run_forever()
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -395,6 +508,7 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "match": _cmd_match,
     "serve": _cmd_serve,
+    "server": _cmd_server,
     "experiments": _cmd_experiments,
 }
 

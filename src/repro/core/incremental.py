@@ -224,15 +224,20 @@ class IncrementalSynonymMiner:
         """How many refreshes have re-mined at least one entity."""
         return self._generation
 
-    def publish(self, catalog, path, *, include_canonical: bool = True):
+    def publish(
+        self, catalog, path, *, include_canonical: bool = True, include_priors: bool = True
+    ):
         """Compile the current cached result into a serving artifact.
 
         The artifact version is ``gen-<n>`` where *n* is the refresh
         generation, so successive publications of an incrementally
         maintained dictionary are distinguishable in their manifests; a
         :class:`~repro.serving.service.MatchService` watching *path* picks
-        the new artifact up atomically.  Call :meth:`refresh` first if there
-        are dirty entities.  Returns the written manifest.
+        the new artifact up atomically.  With *include_priors* (the
+        default) the current click log is embedded as per-entity priors, so
+        each published generation carries popularity consistent with the
+        traffic it was mined from.  Call :meth:`refresh` first if there are
+        dirty entities.  Returns the written manifest.
         """
         from repro.matching.dictionary import SynonymDictionary
         from repro.serving.artifact import compile_dictionary
@@ -245,4 +250,5 @@ class IncrementalSynonymMiner:
             path,
             version=f"gen-{self._generation}",
             config_fingerprint=self.config.fingerprint(),
+            click_log=self.click_log if include_priors else None,
         )

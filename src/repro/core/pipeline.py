@@ -181,6 +181,7 @@ class SynonymMiner:
         path,
         *,
         include_canonical: bool = True,
+        include_priors: bool = True,
         version: str = "1",
     ):
         """Compile *result* into a serving artifact at *path*.
@@ -190,8 +191,12 @@ class SynonymMiner:
         :class:`~repro.matching.dictionary.SynonymDictionary` against
         *catalog* (an :class:`~repro.simulation.catalog.EntityCatalog`) and
         frozen with :func:`~repro.serving.artifact.compile_dictionary`,
-        stamping this miner's config fingerprint into the manifest.
-        Returns the written :class:`~repro.storage.artifact.ArtifactManifest`.
+        stamping this miner's config fingerprint into the manifest.  With
+        *include_priors* (the default) the miner's click log is folded into
+        the artifact as per-entity click-volume priors, so a downstream
+        :class:`~repro.matching.resolver.MatchResolver` ranks ambiguous
+        matches without the log.  Returns the written
+        :class:`~repro.storage.artifact.ArtifactManifest`.
         """
         # Imported lazily: serving sits above core in the layering.
         from repro.matching.dictionary import SynonymDictionary
@@ -205,6 +210,7 @@ class SynonymMiner:
             path,
             version=version,
             config_fingerprint=self.config.fingerprint(),
+            click_log=self.click_log if include_priors else None,
         )
 
     @staticmethod

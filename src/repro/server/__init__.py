@@ -1,0 +1,33 @@
+"""The long-lived match daemon: HTTP/JSON serving over a compiled artifact.
+
+:mod:`repro.serving` answers queries in-process; this package puts a
+resident process in front of it — the last mile of the paper's pipeline,
+where live Web queries arrive over the wire:
+
+* :class:`~repro.server.daemon.MatchDaemon` owns one
+  :class:`~repro.serving.service.MatchService` and exposes it through a
+  threaded stdlib HTTP server: ``/match`` (single and batched),
+  ``/resolve`` (entities *ranked* over the artifact's embedded click
+  priors, not just the tied set), ``/healthz``, ``/stats`` and an admin
+  ``/reload``.  A background watcher thread polls ``maybe_reload()`` so an
+  incremental publish hot-swaps under live traffic, and SIGINT/SIGTERM
+  shut the daemon down cleanly (stats flushed, socket closed).
+* :class:`~repro.server.client.ServerClient` is the matching stdlib-only
+  client, used by the tests, the benchmark load generator and the CI
+  smoke job.
+
+CLI: ``python -m repro server --artifact dict.synart`` runs the daemon.
+Everything here is standard library only — no web framework required.
+"""
+
+from repro.server.client import ServerClient, ServerError
+from repro.server.daemon import DEFAULT_PORT, MatchDaemon, match_payload, ranked_payload
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MatchDaemon",
+    "ServerClient",
+    "ServerError",
+    "match_payload",
+    "ranked_payload",
+]

@@ -1,0 +1,160 @@
+"""Stdlib HTTP client for the match daemon.
+
+:class:`ServerClient` speaks the daemon's JSON wire format with nothing but
+:mod:`http.client`: one persistent keep-alive connection (re-opened
+transparently if the server restarts between requests), JSON in/out, and
+typed errors.  It is what the daemon tests, the latency benchmark's load
+generator and the CI smoke job drive the server with — and a reasonable
+starting point for an application client.
+
+The client is deliberately *not* thread-safe: it owns one socket.  Use one
+client per thread (the benchmark does exactly that).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Sequence
+from urllib.parse import urlparse
+
+from repro.server.daemon import DEFAULT_PORT
+
+__all__ = ["ServerClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response from the daemon, with the decoded error payload."""
+
+    def __init__(self, status: int, payload: dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServerClient:
+    """Typed access to every daemon endpoint over one keep-alive connection."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *, timeout: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    @classmethod
+    def from_address(cls, address: str, *, timeout: float = 10.0) -> "ServerClient":
+        """Build a client from a base URL like ``http://127.0.0.1:8765``."""
+        url = urlparse(address if "//" in address else f"//{address}")
+        if not url.hostname or not url.port:
+            raise ValueError(f"address must include host and port: {address!r}")
+        return cls(url.hostname, url.port, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Drop the persistent connection (re-opened on the next request)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        encoded = None
+        headers = {}
+        if body is not None:
+            encoded = json.dumps(body, ensure_ascii=False).encode("utf-8")
+            headers["Content-Type"] = "application/json; charset=utf-8"
+        # One retry on a dead socket: the server may have restarted (or an
+        # idle keep-alive connection timed out) since the last request.
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                if self._connection.sock is None:
+                    self._connection.connect()
+                    # Headers and body go out as separate writes; without
+                    # TCP_NODELAY the second one stalls a delayed-ACK
+                    # round (~40 ms) behind the first.
+                    self._connection.sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                self._connection.request(method, path, body=encoded, headers=headers)
+                response = self._connection.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            payload = {"error": raw.decode("utf-8", "replace")}
+        if not 200 <= response.status < 300:
+            raise ServerError(response.status, payload)
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def match(self, query: str) -> dict[str, Any]:
+        """Match one query; returns the daemon's match payload."""
+        return self._request("POST", "/match", {"query": query})
+
+    def match_many(self, queries: Sequence[str]) -> list[dict[str, Any]]:
+        """Match a batch in one round trip (order preserved)."""
+        return self._request("POST", "/match", {"queries": list(queries)})["results"]
+
+    def resolve(self, query: str) -> dict[str, Any]:
+        """Match one query and rank its entities (adds the ``ranked`` list)."""
+        return self._request("POST", "/resolve", {"query": query})
+
+    def resolve_many(self, queries: Sequence[str]) -> list[dict[str, Any]]:
+        """Resolve a batch in one round trip (order preserved)."""
+        return self._request("POST", "/resolve", {"queries": list(queries)})["results"]
+
+    def reload(self) -> dict[str, Any]:
+        """Force the daemon to reload its artifact file now."""
+        return self._request("POST", "/admin/reload")
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+
+    def wait_until_ready(self, *, timeout: float = 10.0) -> dict[str, Any]:
+        """Poll ``/healthz`` until the daemon answers (startup races in CI).
+
+        Returns the first healthy payload; raises ``TimeoutError`` when the
+        daemon never comes up within *timeout* seconds.
+        """
+        deadline = time.monotonic() + timeout
+        last_error: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (ServerError, ConnectionError, OSError, http.client.HTTPException) as exc:
+                last_error = exc
+                time.sleep(0.05)
+        raise TimeoutError(f"server at {self.host}:{self.port} not ready: {last_error}")

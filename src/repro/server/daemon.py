@@ -1,0 +1,553 @@
+"""The match daemon: a resident threaded HTTP/JSON server over one artifact.
+
+Architecture — three kinds of thread share one
+:class:`~repro.serving.service.MatchService` (which is thread-safe):
+
+* **request threads** — ``ThreadingHTTPServer`` spawns one per connection;
+  handlers parse JSON, call ``service.match`` / ``service.resolve`` and
+  write JSON back;
+* **the watcher thread** — polls ``service.maybe_reload()`` every
+  ``watch_interval`` seconds, so republishing the artifact file atomically
+  hot-swaps the dictionary under live traffic without dropping in-flight
+  requests (each request matches against the state it captured);
+* **the serve thread** — ``serve_forever`` runs either in the caller's
+  thread (:meth:`MatchDaemon.run_forever`, the CLI path, with
+  SIGINT/SIGTERM mapped to a clean shutdown) or in a background thread
+  (:meth:`MatchDaemon.start`, the test/benchmark path).
+
+Endpoints (all JSON):
+
+====================  ======================================================
+``GET  /healthz``     liveness + artifact version + uptime
+``GET  /stats``       service counters, per-endpoint request counts,
+                      watcher state, artifact metadata
+``GET|POST /match``   one query (``?q=`` or ``{"query": ...}``) or a batch
+                      (``{"queries": [...]}``) → match payload(s)
+``GET|POST /resolve`` like ``/match`` plus ``ranked``: the tied entities
+                      ordered by the artifact's click priors + context
+``POST /admin/reload``  force a reload of the artifact file
+====================  ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Sequence
+from urllib.parse import parse_qs, urlparse
+
+from repro.matching.matcher import EntityMatch
+from repro.matching.resolver import RankedEntity
+from repro.serving.artifact import SynonymArtifact
+from repro.serving.service import MatchService
+
+__all__ = ["DEFAULT_PORT", "MatchDaemon", "match_payload", "ranked_payload"]
+
+DEFAULT_PORT = 8765
+
+
+def match_payload(match: EntityMatch) -> dict[str, Any]:
+    """The wire shape of one :class:`EntityMatch`.
+
+    The single source of truth for the JSON match shape: the CLI's
+    ``match``/``serve`` JSONL streams and the daemon's ``/match`` and
+    ``/resolve`` responses all emit exactly this.
+    """
+    return {
+        "query": match.query,
+        "matched": match.matched,
+        "outcome": match.outcome.value,
+        "entities": sorted(match.entity_ids),
+        "matched_text": match.matched_text,
+        "remainder": match.remainder,
+        "score": match.score,
+    }
+
+
+def ranked_payload(ranked: Sequence[RankedEntity]) -> list[dict[str, Any]]:
+    """The wire shape of a resolver ranking, best entity first."""
+    return [
+        {
+            "entity_id": item.entity_id,
+            "score": item.score,
+            "prior": item.prior,
+            "context_overlap": item.context_overlap,
+        }
+        for item in ranked
+    ]
+
+
+class _RequestError(Exception):
+    """A client error that should become an HTTP 4xx JSON response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Watcher(threading.Thread):
+    """Background poller driving ``service.maybe_reload()``.
+
+    A failed poll (e.g. a half-second where the artifact is being verified
+    against a corrupted copy) is counted and retried on the next tick — the
+    daemon keeps serving the artifact it already has.
+    """
+
+    def __init__(self, service: MatchService, interval: float) -> None:
+        super().__init__(name="repro-artifact-watcher", daemon=True)
+        self.service = service
+        self.interval = interval
+        self.checks = 0
+        self.swaps = 0
+        self.failures = 0
+        self.last_swap_unix: float | None = None
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self.checks += 1
+            try:
+                if self.service.maybe_reload():
+                    self.swaps += 1
+                    self.last_swap_unix = time.time()
+            except Exception:
+                self.failures += 1
+
+    def stop(self) -> None:
+        self._stop_event.set()
+
+
+class _SignalShutdown(Exception):
+    """Raised inside ``serve_forever`` by the SIGINT/SIGTERM handlers."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signal.Signals(signum).name)
+        self.signum = signum
+
+
+class MatchDaemon:
+    """A long-lived HTTP front-end over one :class:`MatchService`.
+
+    Parameters
+    ----------
+    artifact:
+        Path to a compiled artifact (hot swap and ``/admin/reload`` need a
+        path), or a loaded :class:`SynonymArtifact` for ephemeral servers.
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` — this is what the tests and the benchmark do).
+    watch_interval:
+        Seconds between ``maybe_reload()`` polls; ``0`` disables the
+        watcher (reloads then only happen via ``/admin/reload``).
+    max_batch:
+        Admission bound on ``{"queries": [...]}`` length; longer batches
+        are rejected with HTTP 413 instead of tying a request thread up.
+    max_body_bytes:
+        Admission bound on the request body size; larger bodies are
+        rejected with HTTP 413 *before* being read, so an oversized POST
+        cannot make a request thread buffer and parse it.
+    cache_size / enable_fuzzy / verify:
+        Forwarded to :class:`MatchService`.
+    """
+
+    def __init__(
+        self,
+        artifact: str | Path | SynonymArtifact,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        cache_size: int = 4096,
+        enable_fuzzy: bool = True,
+        verify: bool = True,
+        watch_interval: float = 2.0,
+        max_batch: int = 1024,
+        max_body_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
+        if watch_interval < 0:
+            raise ValueError(f"watch_interval must be >= 0, got {watch_interval}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        self.service = MatchService(
+            artifact, cache_size=cache_size, enable_fuzzy=enable_fuzzy, verify=verify
+        )
+        self.watch_interval = watch_interval
+        self.max_batch = max_batch
+        self.max_body_bytes = max_body_bytes
+        self.started_unix = time.time()
+        self._requests: dict[str, int] = {}
+        self._errors = 0
+        self._counter_lock = threading.Lock()
+        self._watcher: _Watcher | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+        self._httpd.daemon_threads = True
+
+    # ------------------------------------------------------------------ #
+    # Addressing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved, so meaningful even after ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        """Base URL clients should talk to."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _start_watcher(self) -> None:
+        if self.watch_interval > 0 and self.service.artifact_path is not None:
+            self._watcher = _Watcher(self.service, self.watch_interval)
+            self._watcher.start()
+
+    def start(self) -> "MatchDaemon":
+        """Serve in a background thread (tests, benchmarks, embedding)."""
+        if self._serve_thread is not None:
+            raise RuntimeError("daemon already started")
+        self._start_watcher()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-match-daemon",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent).
+
+        Safe on a daemon that was constructed but never started:
+        ``shutdown()`` blocks on the serve loop's exit event, which only
+        ``serve_forever`` ever sets, so it is skipped unless the loop is
+        actually running — otherwise a cleanup path that constructs the
+        daemon and fails before ``start()`` would hang forever here.
+        """
+        if self._watcher is not None:
+            self._watcher.stop()
+            self._watcher = None
+        if self._serve_thread is not None:
+            self._httpd.shutdown()
+            self._serve_thread.join(timeout=10.0)
+            self._serve_thread = None
+        self._httpd.server_close()
+
+    def run_forever(self, *, handle_signals: bool = True) -> int:
+        """Serve in the calling thread until SIGINT/SIGTERM (the CLI path).
+
+        Both signals break ``serve_forever`` by raising inside the main
+        thread, after which the socket is closed, the watcher stopped and a
+        final stats line flushed to stderr — a clean exit code 0 instead of
+        a traceback.
+        """
+
+        def _raise_shutdown(signum: int, _frame: Any) -> None:
+            raise _SignalShutdown(signum)
+
+        previous: dict[int, Any] = {}
+        if handle_signals:
+            try:
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    previous[signum] = signal.signal(signum, _raise_shutdown)
+            except ValueError:
+                # Not the main thread (an embedder driving the CLI from a
+                # worker): handlers cannot be installed there; serve
+                # anyway and rely on the embedder to shut us down.
+                pass
+        self._start_watcher()
+        reason = "shutdown"
+        try:
+            self._httpd.serve_forever()
+        except (_SignalShutdown, KeyboardInterrupt) as exc:
+            reason = str(exc) if isinstance(exc, _SignalShutdown) else "SIGINT"
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            if self._watcher is not None:
+                self._watcher.stop()
+                self._watcher = None
+            self._httpd.server_close()
+            print(self._shutdown_line(reason), file=sys.stderr, flush=True)
+        return 0
+
+    def _shutdown_line(self, reason: str) -> str:
+        stats = self.service.stats
+        return (
+            f"repro server: {reason}; served {stats.queries} queries "
+            f"(cache hit rate {stats.hit_rate:.1%}), {stats.reloads} reloads, "
+            f"artifact version {self.service.manifest.version}, socket closed"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping shared with the handler
+    # ------------------------------------------------------------------ #
+
+    def _count(self, endpoint: str) -> None:
+        with self._counter_lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+
+    def _count_error(self) -> None:
+        with self._counter_lock:
+            self._errors += 1
+
+    def healthz_payload(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "artifact_version": self.service.manifest.version,
+            "uptime_s": time.time() - self.started_unix,
+        }
+
+    def stats_payload(self) -> dict[str, Any]:
+        stats = self.service.stats
+        manifest = self.service.manifest
+        with self._counter_lock:
+            requests = dict(self._requests)
+            errors = self._errors
+        watcher = self._watcher
+        payload: dict[str, Any] = {
+            "server": {
+                "started_unix": self.started_unix,
+                "uptime_s": time.time() - self.started_unix,
+                "requests": requests,
+                "errors": errors,
+                "max_batch": self.max_batch,
+                "max_body_bytes": self.max_body_bytes,
+            },
+            "service": {
+                "queries": stats.queries,
+                "cache_hits": stats.cache_hits,
+                "cache_misses": stats.cache_misses,
+                "hit_rate": stats.hit_rate,
+                "reloads": stats.reloads,
+            },
+            "artifact": {
+                "version": manifest.version,
+                "content_hash": manifest.content_hash,
+                "entries": manifest.counts.get("entries", 0),
+                "has_priors": self.service.artifact.has_priors,
+                "path": (
+                    str(self.service.artifact_path)
+                    if self.service.artifact_path is not None
+                    else None
+                ),
+            },
+            "watcher": {"enabled": watcher is not None},
+        }
+        if watcher is not None:
+            payload["watcher"].update(
+                interval_s=watcher.interval,
+                checks=watcher.checks,
+                swaps=watcher.swaps,
+                failures=watcher.failures,
+                last_swap_unix=watcher.last_swap_unix,
+            )
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Request handling (called from handler threads)
+    # ------------------------------------------------------------------ #
+
+    def _queries_from_body(self, body: dict[str, Any]) -> tuple[list[str], bool]:
+        """Extract (queries, batched) from a /match-/resolve body."""
+        if "query" in body and "queries" in body:
+            raise _RequestError(400, "pass 'query' or 'queries', not both")
+        if "query" in body:
+            if not isinstance(body["query"], str):
+                raise _RequestError(400, "'query' must be a string")
+            return [body["query"]], False
+        if "queries" in body:
+            queries = body["queries"]
+            if not isinstance(queries, list) or not all(
+                isinstance(query, str) for query in queries
+            ):
+                raise _RequestError(400, "'queries' must be a list of strings")
+            if len(queries) > self.max_batch:
+                raise _RequestError(
+                    413, f"batch of {len(queries)} exceeds max_batch={self.max_batch}"
+                )
+            return queries, True
+        raise _RequestError(400, "body must contain 'query' or 'queries'")
+
+    def handle_match(self, body: dict[str, Any]) -> dict[str, Any]:
+        queries, batched = self._queries_from_body(body)
+        if batched:
+            return {"results": [match_payload(m) for m in self.service.match_many(queries)]}
+        return match_payload(self.service.match(queries[0]))
+
+    def handle_resolve(self, body: dict[str, Any]) -> dict[str, Any]:
+        queries, batched = self._queries_from_body(body)
+        results = []
+        for query in queries:
+            match, ranked = self.service.resolve(query)
+            payload = match_payload(match)
+            payload["ranked"] = ranked_payload(ranked)
+            results.append(payload)
+        if batched:
+            return {"results": results}
+        return results[0]
+
+    def handle_reload(self) -> dict[str, Any]:
+        if self.service.artifact_path is None:
+            raise _RequestError(409, "daemon serves a loaded artifact; no path to reload")
+        manifest = self.service.reload()
+        return {"reloaded": True, "artifact_version": manifest.version}
+
+
+def _make_handler(daemon: MatchDaemon) -> type[BaseHTTPRequestHandler]:
+    """Build the request-handler class bound to *daemon*."""
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-match/1"
+        # Keep-alive: ServerClient reuses one connection per thread, which
+        # is what makes per-request latency socket-setup-free.
+        protocol_version = "HTTP/1.1"
+        # Small JSON responses written as header-then-body segments would
+        # hit the Nagle/delayed-ACK stall (~40 ms per request on Linux):
+        # disable Nagle and buffer the response so it leaves as one packet.
+        disable_nagle_algorithm = True
+        wbufsize = 64 * 1024
+
+        # -------------------------------------------------------------- #
+        # Plumbing
+        # -------------------------------------------------------------- #
+
+        def log_message(self, format: str, *args: Any) -> None:
+            # Per-request access logging would dominate single-core serving
+            # cost; operational visibility comes from /stats instead.
+            pass
+
+        def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+            body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_error_json(self, status: int, message: str) -> None:
+            daemon._count_error()
+            self._send_json(status, {"error": message})
+
+        def _read_body(self) -> bytes:
+            """Read — and thereby drain — the POST body, enforcing the cap.
+
+            Must run before any response is written, whatever the route:
+            unread body bytes would be parsed as the start of the *next*
+            request on this keep-alive connection.  An oversized or
+            chunked body is rejected *without* reading it; that leaves the
+            stream dirty, so the connection is closed instead of reused.
+            """
+            if self.headers.get("Transfer-Encoding"):
+                # We only drain Content-Length bodies; an undrained chunked
+                # body would poison the stream, so refuse and close.
+                self.close_connection = True
+                raise _RequestError(
+                    411, "chunked bodies are not supported; send Content-Length"
+                )
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError as exc:
+                self.close_connection = True
+                raise _RequestError(400, "invalid Content-Length header") from exc
+            if length > daemon.max_body_bytes:
+                self.close_connection = True
+                raise _RequestError(
+                    413,
+                    f"body of {length} bytes exceeds max_body_bytes="
+                    f"{daemon.max_body_bytes}",
+                )
+            if length <= 0:
+                return b""
+            return self.rfile.read(length)
+
+        def _parse_json(self, raw: bytes) -> dict[str, Any]:
+            if not raw:
+                raise _RequestError(400, "missing JSON request body")
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise _RequestError(400, f"invalid JSON body: {exc}") from exc
+            if not isinstance(body, dict):
+                raise _RequestError(400, "JSON body must be an object")
+            return body
+
+        def _query_body_from_url(self, query_string: str) -> dict[str, Any]:
+            params = parse_qs(query_string)
+            if "q" not in params:
+                raise _RequestError(400, "missing ?q= query parameter")
+            values = params["q"]
+            if len(values) == 1:
+                return {"query": values[0]}
+            return {"queries": values}
+
+        def _dispatch(self, endpoint: str, handler) -> None:
+            daemon._count(endpoint)
+            try:
+                self._send_json(200, handler())
+            except _RequestError as exc:
+                self._send_error_json(exc.status, str(exc))
+            except (BrokenPipeError, ConnectionResetError):
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                self._send_error_json(500, f"internal error: {exc}")
+
+        # -------------------------------------------------------------- #
+        # Routes
+        # -------------------------------------------------------------- #
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            url = urlparse(self.path)
+            if url.path == "/healthz":
+                self._dispatch("healthz", daemon.healthz_payload)
+            elif url.path == "/stats":
+                self._dispatch("stats", daemon.stats_payload)
+            elif url.path == "/match":
+                self._dispatch(
+                    "match",
+                    lambda: daemon.handle_match(self._query_body_from_url(url.query)),
+                )
+            elif url.path == "/resolve":
+                self._dispatch(
+                    "resolve",
+                    lambda: daemon.handle_resolve(self._query_body_from_url(url.query)),
+                )
+            else:
+                self._send_error_json(404, f"unknown endpoint {url.path!r}")
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            url = urlparse(self.path)
+            # Drain the body unconditionally — routes that ignore it
+            # (/admin/reload, unknown paths) must still leave the
+            # keep-alive stream positioned at the next request.
+            try:
+                raw = self._read_body()
+            except _RequestError as exc:
+                self._send_error_json(exc.status, str(exc))
+                return
+            if url.path == "/match":
+                self._dispatch("match", lambda: daemon.handle_match(self._parse_json(raw)))
+            elif url.path == "/resolve":
+                self._dispatch(
+                    "resolve", lambda: daemon.handle_resolve(self._parse_json(raw))
+                )
+            elif url.path == "/admin/reload":
+                self._dispatch("reload", daemon.handle_reload)
+            else:
+                self._send_error_json(404, f"unknown endpoint {url.path!r}")
+
+    return Handler

@@ -13,13 +13,17 @@ the mine → **compile** → **serve** half of the pipeline:
   :class:`~repro.matching.index.DictionaryIndex` protocol straight from
   the packed arrays, materializing entries lazily;
 * :class:`~repro.serving.service.MatchService` owns an artifact, memoizes
-  results in an LRU keyed on the normalized query, matches batches, and
-  hot-swaps to a re-published artifact atomically via ``reload()`` /
-  ``maybe_reload()``.
+  results in an LRU keyed on the normalized query, matches batches,
+  ranks ambiguous matches over the artifact's embedded click priors
+  (``resolve()``), and hot-swaps to a re-published artifact atomically via
+  ``reload()`` / ``maybe_reload()``.  All of it is thread-safe, so the
+  :mod:`repro.server` daemon drives one service from many request threads.
 
-CLI: ``python -m repro compile`` produces artifacts, ``python -m repro
-serve`` answers queries from one (``--watch`` follows republications), and
-``python -m repro match --artifact`` uses one for ad-hoc matching.
+CLI: ``python -m repro compile`` produces artifacts (``--priors`` embeds
+click priors), ``python -m repro serve`` answers queries from one
+(``--watch`` follows republications), ``python -m repro server`` runs the
+HTTP daemon, and ``python -m repro match --artifact`` uses one for ad-hoc
+matching.
 """
 
 from repro.serving.artifact import SynonymArtifact, compile_dictionary, ARTIFACT_KIND

@@ -23,10 +23,16 @@ Layout (inside the :mod:`repro.storage.artifact` container, kind
   unique texts sorted by UTF-8 bytes, each owning a slice of entry ids
   (binary search over raw bytes, no decoding on the probe path);
 * ``token.text`` / ``token.starts`` / ``token.postings`` — the token
-  index backing the fuzzy-fallback shortlist.
+  index backing the fuzzy-fallback shortlist;
+* ``priors.entity`` / ``priors.value`` — *optional* (layout 2): one
+  click-volume prior per entity, precomputed from the click log that fed
+  the miner, so :class:`~repro.matching.resolver.MatchResolver` can rank
+  ambiguous matches offline without the log that produced the artifact.
 
 All lookups are answered from these arrays; ``max_entry_tokens`` is
 precomputed into the manifest so the segmenter's span bound is O(1).
+Layout 1 artifacts (compiled before the priors block existed) still load;
+they simply report ``has_priors == False``.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ from __future__ import annotations
 import sys
 from array import array
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Protocol
 
 from repro.matching.dictionary import DictionaryEntry
 from repro.storage.artifact import (
@@ -50,7 +56,9 @@ from repro.text.tokenize import tokenize
 __all__ = ["ARTIFACT_KIND", "LAYOUT_VERSION", "compile_dictionary", "SynonymArtifact"]
 
 ARTIFACT_KIND = "synonym-dictionary"
-LAYOUT_VERSION = 1
+# Layout 2 added the optional priors block; prior-less artifacts from
+# layout 1 load unchanged.
+LAYOUT_VERSION = 2
 
 _U32 = "I"
 _U64 = "Q"
@@ -67,6 +75,12 @@ def _unpack(typecode: str, block: memoryview) -> array:
     values = array(typecode)
     values.frombytes(block)
     return values
+
+
+class ClickVolumeSource(Protocol):
+    """The one lookup prior computation needs (satisfied by ``ClickLog``)."""
+
+    def total_clicks(self, query: str) -> int: ...
 
 
 class _StringPool:
@@ -92,6 +106,7 @@ def compile_dictionary(
     version: str = "1",
     config_fingerprint: str = "",
     created_unix: float | None = None,
+    click_log: ClickVolumeSource | None = None,
 ) -> ArtifactManifest:
     """Freeze *dictionary* into an immutable artifact file at *path*.
 
@@ -101,6 +116,12 @@ def compile_dictionary(
     dictionary semantics.  The write is atomic (temp file + rename), which
     is what makes live hot-swap via
     :meth:`~repro.serving.service.MatchService.reload` safe.
+
+    When *click_log* is given, a **priors block** is embedded: for every
+    entity, the summed click volume of all its dictionary strings — exactly
+    the quantity :meth:`~repro.matching.resolver.MatchResolver.prior`
+    computes from a live log, precomputed so ranked resolution works
+    offline from the artifact alone.
     """
     pool = _StringPool()
     entry_text: list[int] = []
@@ -175,22 +196,46 @@ def compile_dictionary(
         "token.starts": _pack(_U32, token_starts),
         "token.postings": _pack(_U32, token_postings),
     }
+
+    counts = {
+        "entries": len(entry_text),
+        "unique_texts": len(exact_text),
+        "tokens": len(token_text),
+        "strings": len(pool.strings),
+    }
+    has_priors = click_log is not None
+    if click_log is not None:
+        texts_by_entity: dict[int, list[int]] = {}
+        for text_sid, entity_sid in zip(entry_text, entry_entity):
+            texts_by_entity.setdefault(entity_sid, []).append(text_sid)
+        prior_entities = sorted(texts_by_entity, key=by_bytes)
+        blocks["priors.entity"] = _pack(_U32, prior_entities)
+        blocks["priors.value"] = _pack(
+            _F64,
+            (
+                float(
+                    sum(
+                        click_log.total_clicks(pool.strings[text_sid])
+                        for text_sid in texts_by_entity[entity_sid]
+                    )
+                )
+                for entity_sid in prior_entities
+            ),
+        )
+        counts["prior_entities"] = len(prior_entities)
+
     return write_artifact(
         path,
         blocks,
         kind=ARTIFACT_KIND,
         version=version,
-        counts={
-            "entries": len(entry_text),
-            "unique_texts": len(exact_text),
-            "tokens": len(token_text),
-            "strings": len(pool.strings),
-        },
+        counts=counts,
         extra={
             "layout_version": LAYOUT_VERSION,
             "max_entry_tokens": max_entry_tokens,
             "byteorder": sys.byteorder,
             "uint_itemsize": array(_U32).itemsize,
+            "has_priors": has_priors,
         },
         config_fingerprint=config_fingerprint,
         created_unix=created_unix,
@@ -232,17 +277,28 @@ class SynonymArtifact:
         self._token_text = _unpack(_U32, blocks["token.text"])
         self._token_starts = _unpack(_U32, blocks["token.starts"])
         self._token_postings = _unpack(_U32, blocks["token.postings"])
+        # Layout-1 artifacts predate the priors block; they load unchanged
+        # and simply report has_priors == False.
+        if "priors.entity" in blocks:
+            self._prior_entity: array | None = _unpack(_U32, blocks["priors.entity"])
+            self._prior_value: array | None = _unpack(_F64, blocks["priors.value"])
+        else:
+            self._prior_entity = None
+            self._prior_value = None
         if extra.get("byteorder", sys.byteorder) != sys.byteorder:
             for values in (
                 self._offsets, self._entry_text, self._entry_entity,
                 self._entry_source, self._entry_weight, self._exact_text,
                 self._exact_starts, self._exact_entries, self._token_text,
                 self._token_starts, self._token_postings,
+                self._prior_entity, self._prior_value,
             ):
-                values.byteswap()
+                if values is not None:
+                    values.byteswap()
         self._strings: dict[int, str] = {}
         self._entries: dict[int, DictionaryEntry] = {}
         self._by_entity: dict[str, list[int]] | None = None
+        self._priors: dict[str, float] | None = None
 
     @classmethod
     def load(cls, path: str | Path, *, verify: bool = True) -> "SynonymArtifact":
@@ -337,6 +393,32 @@ class SynonymArtifact:
             self._string(self._entry_text[entry_id])
             for entry_id in self._by_entity.get(entity_id, ())
         ]
+
+    # ------------------------------------------------------------------ #
+    # Click priors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def has_priors(self) -> bool:
+        """True when this artifact carries a click-prior block."""
+        return self._prior_entity is not None
+
+    def priors(self) -> dict[str, float] | None:
+        """Entity id → click-volume prior, or ``None`` for layout-1 files.
+
+        The mapping is exactly what
+        :meth:`~repro.matching.resolver.MatchResolver.prior` would compute
+        entity by entity from the live click log the artifact was compiled
+        against; decoded once and cached.
+        """
+        if self._prior_entity is None or self._prior_value is None:
+            return None
+        if self._priors is None:
+            self._priors = {
+                self._string(entity_sid): value
+                for entity_sid, value in zip(self._prior_entity, self._prior_value)
+            }
+        return self._priors
 
     @property
     def max_entry_tokens(self) -> int:

@@ -13,7 +13,15 @@ a bare :class:`~repro.matching.matcher.QueryMatcher`:
   fresh cache completely off to the side and then repoints one attribute,
   so an incremental refresh can publish a new artifact file (atomically,
   see :mod:`repro.storage.artifact`) and live matching never observes a
-  half-built index; :meth:`maybe_reload` makes that a cheap poll.
+  half-built index; :meth:`maybe_reload` makes that a cheap poll;
+* it **resolves** — :meth:`resolve` follows a match with a
+  :class:`~repro.matching.resolver.MatchResolver` ranking over the
+  artifact's embedded click priors, so ambiguous queries come back as an
+  ordered entity list instead of an unordered tied set;
+* it is **thread-safe** — one lock guards the result cache and the
+  counters, so the threaded daemon (:mod:`repro.server`) can drive a
+  single service from many request threads, including through a
+  mid-traffic :meth:`reload`.
 
 The service returns exactly what the underlying matcher returns: the
 equivalence tests pin ``MatchService.match(q) == QueryMatcher.match(q)``
@@ -22,12 +30,14 @@ field for field, cache hit or miss.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.matching.matcher import EntityMatch, QueryMatcher
+from repro.matching.resolver import MatchResolver, RankedEntity
 from repro.serving.artifact import SynonymArtifact
 from repro.storage.artifact import ArtifactManifest
 from repro.text.normalize import normalize
@@ -85,6 +95,7 @@ class _ServingState:
 
     artifact: SynonymArtifact
     matcher: QueryMatcher
+    resolver: MatchResolver
     cache: _LRUCache
     # (mtime_ns, size, inode) of the loaded file; the inode is what makes
     # the stamp robust — atomic republication always creates a new inode,
@@ -130,6 +141,12 @@ class MatchService:
         self._queries = 0
         self._cache_hits = 0
         self._reloads = 0
+        # _lock serializes the cheap shared-state touches (cache get/put,
+        # counter bumps); matching itself runs outside it.  _reload_lock
+        # serializes state builds so concurrent reload()/maybe_reload()
+        # calls cannot race each other into duplicate swaps.
+        self._lock = threading.Lock()
+        self._reload_lock = threading.Lock()
         if isinstance(artifact, SynonymArtifact):
             self._state = self._build_state(artifact, stamp=None)
         else:
@@ -152,6 +169,7 @@ class MatchService:
         return _ServingState(
             artifact=artifact,
             matcher=matcher,
+            resolver=MatchResolver.from_artifact(artifact),
             cache=_LRUCache(self.cache_size),
             source_stamp=stamp,
         )
@@ -171,32 +189,47 @@ class MatchService:
         concurrent :meth:`match` calls see either the old state or the new
         one in full.  Returns the manifest now being served.
         """
+        with self._reload_lock:
+            return self._reload_locked(path)
+
+    def _reload_locked(self, path: str | Path | None = None) -> ArtifactManifest:
         if path is not None:
             self._path = Path(path)
         if self._path is None:
             raise ValueError("this service was built from a loaded artifact; pass a path")
         state = self._load_state(self._path)
         self._state = state
-        self._reloads += 1
+        with self._lock:
+            self._reloads += 1
         return state.artifact.manifest
+
+    def _current_stamp(self) -> tuple[int, int, int] | None:
+        """Stat stamp of the artifact file, or None when it is missing."""
+        try:
+            stat = self._path.stat()  # type: ignore[union-attr]
+        except FileNotFoundError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
 
     def maybe_reload(self) -> bool:
         """Reload iff the artifact file changed since it was last loaded.
 
         Cheap enough to call before every batch (one ``stat``); returns
-        True when a swap happened.  Used by ``repro serve --watch``.
+        True when a swap happened.  Used by ``repro serve --watch`` and the
+        daemon's background watcher thread.  The stamp is re-checked under
+        the reload lock, so concurrent callers straddling one republish
+        perform exactly one swap — the losers observe the fresh state and
+        return False instead of cold-loading the file a second time.
         """
         if self._path is None:
             return False
-        state = self._state
-        try:
-            stat = self._path.stat()
-        except FileNotFoundError:
+        stamp = self._current_stamp()
+        if stamp is None or self._state.source_stamp == stamp:
             return False
-        stamp = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
-        if state.source_stamp == stamp:
-            return False
-        self.reload()
+        with self._reload_lock:
+            if self._state.source_stamp == stamp:
+                return False
+            self._reload_locked()
         return True
 
     # ------------------------------------------------------------------ #
@@ -205,17 +238,24 @@ class MatchService:
 
     def match(self, query: str) -> EntityMatch:
         """Match one query (identical to the underlying matcher's result)."""
-        state = self._state
-        self._queries += 1
+        return self._match_with_state(self._state, query)
+
+    def _match_with_state(self, state: _ServingState, query: str) -> EntityMatch:
         normalized = normalize(query)
-        cached = state.cache.get(normalized)
+        with self._lock:
+            self._queries += 1
+            cached = state.cache.get(normalized)
+            if cached is not None:
+                self._cache_hits += 1
         if cached is None:
             # Cache under the normalized key: every raw spelling that
             # normalizes to the same string shares one computed result.
+            # Matching runs outside the lock — two threads may both miss
+            # and compute the same (deterministic) result, which is benign
+            # and far cheaper than serializing segmentation.
             cached = state.matcher.match(normalized)
-            state.cache.put(normalized, cached)
-        else:
-            self._cache_hits += 1
+            with self._lock:
+                state.cache.put(normalized, cached)
         if cached.query == query:
             return cached
         return replace(cached, query=query)
@@ -223,6 +263,22 @@ class MatchService:
     def match_many(self, queries: Iterable[str]) -> list[EntityMatch]:
         """Match a batch of queries (order preserved)."""
         return [self.match(query) for query in queries]
+
+    def resolve(self, query: str) -> tuple[EntityMatch, list[RankedEntity]]:
+        """Match one query and rank its (possibly tied) entities.
+
+        The ranking comes from the state's resolver over the artifact's
+        embedded click priors (uniform when the artifact predates the
+        priors block); match and ranking are computed against one state, so
+        a concurrent hot swap cannot pair a new match with an old ranking.
+        """
+        state = self._state
+        match = self._match_with_state(state, query)
+        return match, state.resolver.rank(match)
+
+    def rank(self, match: EntityMatch) -> list[RankedEntity]:
+        """Rank an existing match's entities with the current priors."""
+        return self._state.resolver.rank(match)
 
     def coverage(self, queries: Sequence[str]) -> float:
         """Fraction of *queries* that resolve to at least one entity."""
@@ -252,10 +308,11 @@ class MatchService:
 
     @property
     def stats(self) -> ServiceStats:
-        """Query/cache/reload counters since construction."""
-        return ServiceStats(
-            queries=self._queries,
-            cache_hits=self._cache_hits,
-            cache_misses=self._queries - self._cache_hits,
-            reloads=self._reloads,
-        )
+        """Query/cache/reload counters since construction (one atomic read)."""
+        with self._lock:
+            return ServiceStats(
+                queries=self._queries,
+                cache_hits=self._cache_hits,
+                cache_misses=self._queries - self._cache_hits,
+                reloads=self._reloads,
+            )

@@ -59,6 +59,36 @@ class TestPriors:
         assert resolver.prior("m2") == resolver.prior("m2")
 
 
+class TestPrecomputedPriors:
+    """Priors from a mapping (e.g. an artifact's priors block) vs the live log."""
+
+    def test_mapping_values_used_directly(self, dictionary):
+        resolver = MatchResolver(dictionary, priors={"m1": 40.0, "m2": 600.0})
+        assert resolver.prior("m1") == 40.0
+        assert resolver.prior("m2") == 600.0
+
+    def test_unknown_entity_scores_zero(self, dictionary):
+        # Matches the live-log behaviour: an entity with no known strings
+        # sums an empty click set.
+        resolver = MatchResolver(dictionary, priors={"m1": 40.0})
+        assert resolver.prior("ghost") == 0.0
+
+    def test_both_sources_rejected(self, dictionary, click_log):
+        with pytest.raises(ValueError, match="not both"):
+            MatchResolver(dictionary, click_log=click_log, priors={"m1": 1.0})
+
+    def test_rank_from_mapping_equals_rank_from_live_log(
+        self, dictionary, click_log, matcher
+    ):
+        """The precomputed path is field-for-field the live-log path."""
+        live = MatchResolver(dictionary, click_log=click_log)
+        mapping = {entity: live.prior(entity) for entity in ("m1", "m2")}
+        frozen = MatchResolver(dictionary, priors=mapping)
+        for query in ("lyra quinn", "lyra quinn crystal skull", "lyra quinn shattered crown"):
+            match = matcher.match(query)
+            assert frozen.rank(match) == live.rank(match), query
+
+
 class TestContextOverlap:
     def test_context_tokens_disambiguate(self, dictionary):
         resolver = MatchResolver(dictionary)

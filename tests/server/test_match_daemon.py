@@ -1,0 +1,417 @@
+"""End-to-end tests for the HTTP match daemon and its client.
+
+The daemon runs in-process on an ephemeral port (``port=0``) and is driven
+through :class:`ServerClient` — the same wire path production traffic takes.
+The acceptance pin lives here: ``/resolve`` over an artifact with a priors
+block must reproduce :meth:`MatchResolver.rank` over the live click log the
+artifact was compiled from, field for field.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.clicklog.log import ClickLog
+from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
+from repro.matching.matcher import QueryMatcher
+from repro.matching.resolver import MatchResolver
+from repro.server import MatchDaemon, ServerClient, ServerError
+from repro.serving.artifact import SynonymArtifact, compile_dictionary
+
+ENTRIES = [
+    DictionaryEntry("lyra quinn", "m1"),
+    DictionaryEntry("lyra quinn", "m2"),
+    DictionaryEntry("lyra quinn and the kingdom of the crystal skull", "m1", "canonical"),
+    DictionaryEntry("kingdom of the crystal skull", "m1"),
+    DictionaryEntry("lyra quinn 2 and the empire of the shattered crown", "m2", "canonical"),
+    DictionaryEntry("empire of the shattered crown", "m2"),
+]
+
+CLICK_TUPLES = [
+    ("empire of the shattered crown", "https://a.example", 500),
+    ("lyra quinn 2 and the empire of the shattered crown", "https://a.example", 100),
+    ("kingdom of the crystal skull", "https://b.example", 40),
+    ("lyra quinn", "https://c.example", 7),
+]
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return SynonymDictionary(ENTRIES)
+
+
+@pytest.fixture(scope="module")
+def click_log():
+    return ClickLog.from_tuples(CLICK_TUPLES)
+
+
+@pytest.fixture(scope="module")
+def artifact_path(dictionary, click_log, tmp_path_factory):
+    path = tmp_path_factory.mktemp("daemon") / "dict.synart"
+    compile_dictionary(dictionary, path, version="gen-1", click_log=click_log)
+    return path
+
+
+@pytest.fixture(scope="module")
+def daemon(artifact_path):
+    daemon = MatchDaemon(artifact_path, port=0, watch_interval=0.05, max_batch=16)
+    daemon.start()
+    yield daemon
+    daemon.stop()
+
+
+@pytest.fixture()
+def client(daemon):
+    with ServerClient(daemon.host, daemon.port) as client:
+        client.wait_until_ready(timeout=10)
+        yield client
+
+
+class TestHealthAndStats:
+    def test_healthz(self, client):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["artifact_version"] == "gen-1"
+        assert payload["uptime_s"] >= 0
+
+    def test_stats_shape(self, client):
+        payload = client.stats()
+        assert payload["artifact"]["has_priors"] is True
+        assert payload["artifact"]["entries"] == len(ENTRIES)
+        assert payload["service"]["queries"] >= 0
+        assert payload["watcher"]["enabled"] is True
+        assert payload["server"]["requests"]["stats"] >= 1
+
+    def test_request_counters_accumulate(self, client):
+        before = client.stats()["server"]["requests"].get("match", 0)
+        client.match("lyra quinn")
+        client.match("lyra quinn")
+        after = client.stats()["server"]["requests"]["match"]
+        assert after == before + 2
+
+
+class TestMatchEndpoint:
+    def test_single_match_equals_in_process_matcher(self, client, dictionary):
+        reference = QueryMatcher(dictionary)
+        for query in ("lyra quinn crystal skull", "unknown stuff", "", "THE KINGDOM!!"):
+            payload = client.match(query)
+            match = reference.match(query)
+            assert payload == {
+                "query": match.query,
+                "matched": match.matched,
+                "outcome": match.outcome.value,
+                "entities": sorted(match.entity_ids),
+                "matched_text": match.matched_text,
+                "remainder": match.remainder,
+                "score": match.score,
+            }, query
+
+    def test_batched_match_preserves_order(self, client):
+        queries = ["lyra quinn", "zzz nothing", "empire of the shattered crown"]
+        results = client.match_many(queries)
+        assert [payload["query"] for payload in results] == queries
+        assert [payload["matched"] for payload in results] == [True, False, True]
+
+    def test_get_with_query_parameter(self, client, daemon):
+        payload = client._request("GET", "/match?q=lyra+quinn")
+        assert payload["matched"] is True
+        assert payload["entities"] == ["m1", "m2"]
+
+    def test_batch_above_max_rejected_413(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.match_many(["q"] * 17)
+        assert excinfo.value.status == 413
+
+    def test_malformed_bodies_rejected_400(self, client):
+        for body in ({}, {"query": 3}, {"queries": "not-a-list"}, {"query": "a", "queries": []}):
+            with pytest.raises(ServerError) as excinfo:
+                client._request("POST", "/match", body)
+            assert excinfo.value.status == 400, body
+
+    def test_unknown_endpoint_404(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_keep_alive_survives_unread_body_routes(self, client):
+        """POST bodies are drained on every route, even ones ignoring them.
+
+        An unread body would be parsed as the start of the next request on
+        this keep-alive connection (a '{}POST ...' 501).  /admin/reload
+        with a body and a 404 POST are exactly those routes; the follow-up
+        match must succeed on the *same* socket.
+        """
+        client.match("lyra quinn")  # establish the connection
+        connection = client._connection
+        assert client._request("POST", "/admin/reload", {"ignored": True})["reloaded"]
+        assert client.match("lyra quinn")["matched"] is True
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/nowhere", {"also": "ignored"})
+        assert excinfo.value.status == 404
+        assert client.match("lyra quinn")["matched"] is True
+        assert client._connection is connection  # never had to reconnect
+
+    def test_chunked_body_rejected_411(self, daemon):
+        """Chunked bodies can't be drained by Content-Length; refuse them.
+
+        Accepting the request but leaving the chunked bytes unread would
+        poison the keep-alive stream for the next request.
+        """
+        import http.client
+
+        conn = http.client.HTTPConnection(daemon.host, daemon.port, timeout=10)
+        try:
+            conn.putrequest("POST", "/match")
+            conn.putheader("Transfer-Encoding", "chunked")
+            conn.endheaders()
+            conn.send(b'11\r\n{"query": "indy"}\r\n0\r\n\r\n')
+            response = conn.getresponse()
+            assert response.status == 411
+            assert b"Content-Length" in response.read()
+        finally:
+            conn.close()
+
+    def test_oversized_body_rejected_before_reading(self, artifact_path):
+        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0, max_body_bytes=256)
+        daemon.start()
+        try:
+            with ServerClient(daemon.host, daemon.port) as client:
+                client.wait_until_ready()
+                with pytest.raises(ServerError) as excinfo:
+                    client.match("x" * 1024)
+                assert excinfo.value.status == 413
+                assert "max_body_bytes" in str(excinfo.value)
+                # The daemon closed that connection (it never read the
+                # body); the client transparently reconnects and serves on.
+                assert client.match("lyra quinn")["matched"] is True
+        finally:
+            daemon.stop()
+
+
+class TestResolveEndpoint:
+    def test_resolve_pinned_to_live_log_resolver(self, client, dictionary, click_log):
+        """Acceptance pin: /resolve ≡ MatchResolver.rank over the live log.
+
+        The artifact's priors block was compiled from *click_log*; ranking
+        through the daemon must reproduce the in-process resolver backed by
+        that same live log — entity by entity, field for field.
+        """
+        matcher = QueryMatcher(dictionary)
+        live = MatchResolver(dictionary, click_log=click_log)
+        for query in (
+            "lyra quinn",
+            "lyra quinn crystal skull",
+            "lyra quinn shattered crown showtimes",
+            "kingdom of the crystal skull",
+            "zzz unmatched",
+        ):
+            payload = client.resolve(query)
+            expected = live.rank(matcher.match(query))
+            assert payload["ranked"] == [
+                {
+                    "entity_id": item.entity_id,
+                    "score": item.score,
+                    "prior": item.prior,
+                    "context_overlap": item.context_overlap,
+                }
+                for item in expected
+            ], query
+
+    def test_resolve_orders_by_popularity(self, client):
+        # m2's strings carry ~600 clicks vs m1's ~40: the bare ambiguous
+        # mention resolves to the popular entity first.
+        payload = client.resolve("lyra quinn")
+        assert payload["entities"] == ["m1", "m2"]
+        assert [item["entity_id"] for item in payload["ranked"]] == ["m2", "m1"]
+
+    def test_resolve_batch(self, client):
+        results = client.resolve_many(["lyra quinn", "zzz"])
+        assert [bool(payload["ranked"]) for payload in results] == [True, False]
+
+    def test_resolve_without_priors_degrades_to_uniform(self, dictionary, tmp_path):
+        path = tmp_path / "noprior.synart"
+        compile_dictionary(dictionary, path, version="v-noprior")
+        daemon = MatchDaemon(path, port=0, watch_interval=0).start()
+        try:
+            with ServerClient(daemon.host, daemon.port) as client:
+                client.wait_until_ready()
+                assert client.stats()["artifact"]["has_priors"] is False
+                payload = client.resolve("lyra quinn")
+                priors = {item["entity_id"]: item["prior"] for item in payload["ranked"]}
+                assert priors == {"m1": 1.0, "m2": 1.0}
+                # Uniform priors: deterministic entity-id tie-break.
+                assert [item["entity_id"] for item in payload["ranked"]] == ["m1", "m2"]
+        finally:
+            daemon.stop()
+
+
+class TestHotSwap:
+    def test_admin_reload_and_watcher_swap(self, dictionary, click_log, tmp_path):
+        path = tmp_path / "swap.synart"
+        compile_dictionary(dictionary, path, version="gen-1", click_log=click_log)
+        daemon = MatchDaemon(path, port=0, watch_interval=0.05).start()
+        try:
+            with ServerClient(daemon.host, daemon.port) as client:
+                client.wait_until_ready()
+                assert client.match("brand new synonym")["matched"] is False
+
+                # Republish: the background watcher must pick it up without
+                # any explicit reload call.
+                compile_dictionary(
+                    SynonymDictionary(
+                        list(ENTRIES) + [DictionaryEntry("brand new synonym", "m3", "mined", 5.0)]
+                    ),
+                    path,
+                    version="gen-2",
+                    click_log=click_log,
+                )
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if client.healthz()["artifact_version"] == "gen-2":
+                        break
+                    time.sleep(0.02)
+                stats = client.stats()
+                assert stats["artifact"]["version"] == "gen-2"
+                assert stats["watcher"]["swaps"] >= 1
+                assert stats["service"]["reloads"] >= 1
+                assert client.match("brand new synonym")["entities"] == ["m3"]
+
+                # Explicit admin reload still works alongside the watcher.
+                payload = client.reload()
+                assert payload == {"reloaded": True, "artifact_version": "gen-2"}
+        finally:
+            daemon.stop()
+
+    def test_reload_without_path_conflicts_409(self, artifact_path):
+        daemon = MatchDaemon(SynonymArtifact.load(artifact_path), port=0).start()
+        try:
+            with ServerClient(daemon.host, daemon.port) as client:
+                client.wait_until_ready()
+                with pytest.raises(ServerError) as excinfo:
+                    client.reload()
+                assert excinfo.value.status == 409
+        finally:
+            daemon.stop()
+
+    def test_requests_survive_concurrent_traffic(self, daemon):
+        """A light in-process load test: one client per thread, all green."""
+        errors: list = []
+
+        def worker():
+            try:
+                with ServerClient(daemon.host, daemon.port) as client:
+                    for _ in range(25):
+                        assert client.match("lyra quinn")["matched"] is True
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30)
+        assert errors == []
+
+
+class TestDaemonLifecycle:
+    def test_start_twice_rejected(self, artifact_path):
+        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0).start()
+        try:
+            with pytest.raises(RuntimeError):
+                daemon.start()
+        finally:
+            daemon.stop()
+
+    def test_invalid_parameters_rejected(self, artifact_path):
+        with pytest.raises(ValueError):
+            MatchDaemon(artifact_path, port=0, watch_interval=-1)
+        with pytest.raises(ValueError):
+            MatchDaemon(artifact_path, port=0, max_batch=0)
+        with pytest.raises(ValueError):
+            MatchDaemon(artifact_path, port=0, max_body_bytes=0)
+
+    def test_stop_without_start_does_not_hang(self, artifact_path):
+        """A constructed-but-never-started daemon must clean up, not block.
+
+        ``shutdown()`` waits on an event only ``serve_forever`` sets; the
+        try/finally shape `daemon = MatchDaemon(...); ...; daemon.stop()`
+        would deadlock forever if stop() called it unconditionally.
+        """
+        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0)
+        done = threading.Event()
+
+        def stopper():
+            daemon.stop()
+            done.set()
+
+        thread = threading.Thread(target=stopper, daemon=True)
+        thread.start()
+        assert done.wait(timeout=5), "stop() hung on a never-started daemon"
+        # And stop() stays idempotent after a normal start/stop cycle.
+        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0).start()
+        daemon.stop()
+        daemon.stop()
+
+    def test_run_forever_off_main_thread_serves_without_handlers(self, artifact_path):
+        """An embedder may drive run_forever from a worker thread.
+
+        Signal handlers can only be installed in the main thread; the
+        daemon must fall back to serving without them instead of raising
+        ValueError with the socket already bound.
+        """
+        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0)
+        codes: list = []
+        thread = threading.Thread(target=lambda: codes.append(daemon.run_forever()))
+        thread.start()
+        try:
+            with ServerClient(daemon.host, daemon.port) as client:
+                client.wait_until_ready()
+                assert client.match("lyra quinn")["matched"] is True
+        finally:
+            daemon._httpd.shutdown()
+            thread.join(timeout=10)
+        assert codes == [0]
+
+    def test_sigterm_exits_cleanly(self, artifact_path):
+        """The real ops path: `python -m repro server`, then SIGTERM.
+
+        The process must print its machine-readable address banner, serve
+        traffic, and exit 0 with a final stats line on stderr — no
+        traceback.
+        """
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "server",
+                "--artifact", str(artifact_path), "--port", "0",
+                "--watch-interval", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=dict(os.environ, PYTHONPATH=src),
+        )
+        try:
+            banner = proc.stdout.readline()
+            port = int(re.search(r"http://127\.0\.0\.1:(\d+)", banner).group(1))
+            with ServerClient(port=port) as client:
+                client.wait_until_ready(timeout=15)
+                assert client.match("lyra quinn")["matched"] is True
+            proc.send_signal(signal.SIGTERM)
+            _, err = proc.communicate(timeout=15)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=15)
+        assert proc.returncode == 0, err
+        assert "SIGTERM" in err
+        assert "served 1 queries" in err
+        assert "socket closed" in err
+        assert "Traceback" not in err

@@ -1,0 +1,68 @@
+"""Unit tests for the daemon's stdlib client."""
+
+import pytest
+
+from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
+from repro.server import DEFAULT_PORT, MatchDaemon, ServerClient
+from repro.serving.artifact import compile_dictionary
+
+
+@pytest.fixture()
+def artifact_path(tmp_path):
+    path = tmp_path / "dict.synart"
+    compile_dictionary(
+        SynonymDictionary([DictionaryEntry("indy 4", "m1", "mined", 10.0)]), path
+    )
+    return path
+
+
+class TestAddressing:
+    def test_from_address_parses_url(self):
+        client = ServerClient.from_address("http://127.0.0.1:9321")
+        assert (client.host, client.port) == ("127.0.0.1", 9321)
+
+    def test_from_address_parses_bare_host_port(self):
+        client = ServerClient.from_address("localhost:8080")
+        assert (client.host, client.port) == ("localhost", 8080)
+
+    def test_from_address_requires_port(self):
+        with pytest.raises(ValueError):
+            ServerClient.from_address("http://127.0.0.1")
+
+    def test_default_port(self):
+        assert ServerClient().port == DEFAULT_PORT
+
+
+class TestTransport:
+    def test_keep_alive_connection_is_reused(self, artifact_path):
+        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0).start()
+        try:
+            with ServerClient(daemon.host, daemon.port) as client:
+                client.wait_until_ready()
+                first = client._connection
+                client.match("indy 4")
+                client.match("indy 4")
+                assert client._connection is first
+        finally:
+            daemon.stop()
+
+    def test_reconnects_after_server_restart(self, artifact_path):
+        """The retry path: a dead keep-alive socket is reopened, once."""
+        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0).start()
+        port = daemon.port
+        client = ServerClient(daemon.host, port)
+        try:
+            client.wait_until_ready()
+            assert client.match("indy 4")["matched"] is True
+            daemon.stop()
+            # Same port, fresh server: the old pooled socket is dead.
+            daemon = MatchDaemon(artifact_path, port=port, watch_interval=0).start()
+            assert client.match("indy 4")["matched"] is True
+        finally:
+            client.close()
+            daemon.stop()
+
+    def test_wait_until_ready_times_out_when_no_server(self):
+        client = ServerClient("127.0.0.1", 1)  # nothing listens on port 1
+        with pytest.raises(TimeoutError):
+            client.wait_until_ready(timeout=0.3)

@@ -2,10 +2,17 @@
 
 import pytest
 
+from repro.clicklog.log import ClickLog
 from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
 from repro.matching.index import DictionaryIndex
-from repro.serving.artifact import ARTIFACT_KIND, SynonymArtifact, compile_dictionary
-from repro.storage.artifact import ArtifactError, write_artifact
+from repro.matching.resolver import MatchResolver
+from repro.serving.artifact import (
+    ARTIFACT_KIND,
+    LAYOUT_VERSION,
+    SynonymArtifact,
+    compile_dictionary,
+)
+from repro.storage.artifact import ArtifactError, read_artifact, write_artifact
 
 ENTRIES = [
     DictionaryEntry("indiana jones and the kingdom of the crystal skull", "m1", "canonical"),
@@ -124,6 +131,97 @@ class TestDictionaryIndexProtocol:
 
     def test_max_entry_tokens_precomputed(self, artifact, dictionary):
         assert artifact.max_entry_tokens == dictionary.max_entry_tokens
+
+
+class TestPriors:
+    """The layout-2 priors block and its layout-1 back-compat story."""
+
+    @pytest.fixture()
+    def click_log(self):
+        return ClickLog.from_tuples(
+            [
+                ("indy 4", "https://a.example", 120),
+                ("indiana jones 4", "https://a.example", 30),
+                ("madagascar 2", "https://b.example", 200),
+                ("shared name", "https://c.example", 9),
+            ]
+        )
+
+    @pytest.fixture()
+    def priored(self, dictionary, click_log, tmp_path):
+        path = tmp_path / "priored.synart"
+        compile_dictionary(dictionary, path, click_log=click_log)
+        return SynonymArtifact.load(path)
+
+    def test_priors_block_present_and_flagged(self, priored):
+        assert priored.has_priors is True
+        assert priored.manifest.extra["has_priors"] is True
+        assert priored.manifest.counts["prior_entities"] == 2
+
+    def test_priors_equal_live_log_resolver(self, priored, dictionary, click_log):
+        """The embedded prior is exactly what a live-log resolver computes."""
+        live = MatchResolver(dictionary, click_log=click_log)
+        assert priored.priors() == {
+            "m1": live.prior("m1"),
+            "m2": live.prior("m2"),
+        }
+
+    def test_priors_cover_zero_click_entities(self, click_log, tmp_path):
+        path = tmp_path / "zero.synart"
+        compile_dictionary(
+            [DictionaryEntry("indy 4", "m1"), DictionaryEntry("ghost town", "m7")],
+            path,
+            click_log=click_log,
+        )
+        artifact = SynonymArtifact.load(path)
+        assert artifact.priors() == {"m1": 120.0, "m7": 0.0}
+
+    def test_priorless_compile_has_no_block(self, artifact):
+        assert artifact.has_priors is False
+        assert artifact.priors() is None
+        assert artifact.manifest.extra["has_priors"] is False
+        assert "prior_entities" not in artifact.manifest.counts
+        assert artifact.manifest.extra["layout_version"] == LAYOUT_VERSION
+
+    def test_recompile_with_priors_is_deterministic(self, dictionary, click_log, tmp_path):
+        first = compile_dictionary(dictionary, tmp_path / "a.synart", click_log=click_log)
+        second = compile_dictionary(dictionary, tmp_path / "b.synart", click_log=click_log)
+        assert first.content_hash == second.content_hash
+
+    def test_layout1_artifact_still_loads(self, dictionary, tmp_path):
+        """A pre-priors (layout 1) file loads and serves unchanged.
+
+        Simulated by rewriting a fresh artifact's blocks under the old
+        manifest shape: layout_version 1, no ``has_priors`` key, no priors
+        blocks — byte-for-byte what PR 2 compilers produced.
+        """
+        modern = tmp_path / "modern.synart"
+        compile_dictionary(dictionary, modern, version="old-gen")
+        manifest, blocks = read_artifact(modern)
+        legacy_extra = dict(manifest.extra)
+        legacy_extra["layout_version"] = 1
+        del legacy_extra["has_priors"]
+        legacy = tmp_path / "legacy.synart"
+        write_artifact(
+            legacy,
+            {name: bytes(block) for name, block in blocks.items()},
+            kind=manifest.kind,
+            version=manifest.version,
+            counts=manifest.counts,
+            extra=legacy_extra,
+        )
+        artifact = SynonymArtifact.load(legacy)
+        assert artifact.manifest.extra["layout_version"] == 1
+        assert artifact.has_priors is False
+        assert artifact.priors() is None
+        assert list(artifact) == list(SynonymDictionary(ENTRIES))
+        assert artifact.entities_for("indy 4") == {"m1"}
+
+    def test_layout1_resolver_degrades_to_uniform(self, dictionary, tmp_path):
+        path = tmp_path / "uniform.synart"
+        compile_dictionary(dictionary, path)
+        resolver = MatchResolver.from_artifact(SynonymArtifact.load(path))
+        assert resolver.prior("m1") == resolver.prior("m2") == 1.0
 
 
 class TestLoadValidation:

@@ -32,6 +32,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_server_defaults(self):
+        from repro.server.daemon import DEFAULT_PORT
+
+        args = build_parser().parse_args(["server", "--artifact", "d.synart"])
+        assert args.command == "server"
+        assert args.host == "127.0.0.1"
+        assert args.port == DEFAULT_PORT
+        assert args.watch_interval == pytest.approx(2.0)
+        assert args.max_batch == 1024
+
+    def test_compile_accepts_priors_source(self):
+        args = build_parser().parse_args(
+            ["compile", "--synonyms", "s.jsonl", "--output", "d.synart",
+             "--priors", "clicks.jsonl"]
+        )
+        assert str(args.priors) == "clicks.jsonl"
+
 
 class TestEndToEndWorkflow:
     @pytest.fixture(scope="class")
@@ -348,3 +365,50 @@ class TestCompileAndServeCLI:
     def test_serve_rejects_negative_cache_size(self, compiled):
         with pytest.raises(SystemExit, match="cache-size"):
             main(["serve", "--artifact", str(compiled), "--cache-size", "-1"])
+
+    def test_compile_priors_embeds_click_priors(self, mined, simulated, workdir, capsys):
+        from repro.serving.artifact import SynonymArtifact
+
+        artifact = workdir / "priored.synart"
+        assert main(
+            [
+                "compile", "--synonyms", str(mined),
+                "--output", str(artifact),
+                "--priors", str(simulated / "click_data.jsonl"),
+            ]
+        ) == 0
+        assert "entity priors" in capsys.readouterr().out
+        loaded = SynonymArtifact.load(artifact)
+        assert loaded.has_priors is True
+        priors = loaded.priors()
+        assert priors and any(value > 0 for value in priors.values())
+
+    def test_serve_interrupt_flushes_summary(self, mined, compiled, capsys, monkeypatch):
+        """Ctrl-C mid-stream: summary still flushed, exit code 0, no traceback."""
+        rows = list(read_jsonl(mined))
+
+        class InterruptedStdin:
+            def __init__(self):
+                self._lines = iter([rows[0]["synonym"] + "\n"])
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                try:
+                    return next(self._lines)
+                except StopIteration:
+                    raise KeyboardInterrupt
+
+        monkeypatch.setattr("sys.stdin", InterruptedStdin())
+        assert main(["serve", "--artifact", str(compiled)]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out.strip())["matched"] is True
+        assert "served 1 queries" in captured.err
+        assert "stopped by" in captured.err
+
+    def test_server_rejects_bad_flags(self, compiled):
+        with pytest.raises(SystemExit, match="cache-size"):
+            main(["server", "--artifact", str(compiled), "--cache-size", "-1"])
+        with pytest.raises(SystemExit, match="watch-interval"):
+            main(["server", "--artifact", str(compiled), "--watch-interval", "-2"])
