@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the offline *and* online workflow end to end
+Eight subcommands cover the offline *and* online workflow end to end
 without writing any Python:
 
 * ``simulate``    — build a simulated world and dump its catalog, Search
@@ -13,7 +13,12 @@ without writing any Python:
 * ``compile``     — freeze a mined synonyms JSONL into a compiled serving
   artifact (one immutable file, cold-loadable in one read);
   ``--priors CLICKS_JSONL`` embeds per-entity click priors so ``server``
-  can rank ambiguous matches without the log;
+  can rank ambiguous matches without the log; ``--delta BASE`` diffs
+  against an existing artifact and writes a small delta sidecar instead
+  of a full file (see ``docs/ARTIFACT_FORMAT.md``);
+* ``delta-apply`` — materialize ``BASE + DELTA`` as a full artifact
+  offline (chain verification included), the operational tool for folding
+  a delta journal back into its base;
 * ``match``       — match live queries (arguments or stdin) against a
   mined dictionary, from ``--synonyms`` JSONL (rebuilt in memory) or a
   compiled ``--artifact`` (fast path);
@@ -119,7 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
         "compile", help="freeze a mined synonyms JSONL into a compiled serving artifact"
     )
     compile_.add_argument("--synonyms", type=Path, required=True, help="synonyms JSONL from `mine`")
-    compile_.add_argument("--output", type=Path, required=True, help="output artifact file")
+    compile_.add_argument(
+        "--output", type=Path, default=None,
+        help="output file (required unless --delta, which defaults to the "
+             "BASE_ARTIFACT.delta sidecar servers watch)",
+    )
     compile_.add_argument(
         "--version-label", default="1",
         help="version label recorded in the artifact manifest (default: 1)",
@@ -128,6 +137,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--priors", type=Path, default=None, metavar="CLICKS_JSONL",
         help="click data JSONL (query,url,clicks); embeds per-entity click "
              "priors so `server` ranks ambiguous matches offline",
+    )
+    compile_.add_argument(
+        "--delta", type=Path, default=None, metavar="BASE_ARTIFACT",
+        help="diff against this compiled artifact and write a delta sidecar "
+             "(changed/removed entities + prior updates) instead of a full "
+             "artifact; without --output it lands at BASE_ARTIFACT.delta, "
+             "where a server watching BASE_ARTIFACT applies it in place",
+    )
+
+    delta_apply = subparsers.add_parser(
+        "delta-apply", help="materialize BASE + DELTA as a full compiled artifact"
+    )
+    delta_apply.add_argument("--base", type=Path, required=True, help="full base artifact")
+    delta_apply.add_argument("--delta", type=Path, required=True, help="delta sidecar file")
+    delta_apply.add_argument(
+        "--output", type=Path, required=True,
+        help="output artifact file (may equal --base; the write is atomic)",
     )
 
     match = subparsers.add_parser("match", help="match live queries against a mined dictionary")
@@ -337,6 +363,34 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             ClickRecord(row["query"], row["url"], row["clicks"])
             for row in read_jsonl(args.priors)
         )
+    if args.delta is not None:
+        from repro.serving.delta import delta_path_for, diff_delta
+
+        output = args.output if args.output is not None else delta_path_for(args.delta)
+        base = SynonymArtifact.load(args.delta)
+        manifest = diff_delta(
+            base, dictionary, output,
+            version=args.version_label, click_log=click_log,
+        )
+        size = output.stat().st_size
+        base_size = args.delta.stat().st_size
+        print(
+            f"delta vs {base.manifest.version}: {manifest.counts['changed_entities']} "
+            f"changed, {manifest.counts['removed_entities']} removed, "
+            f"{manifest.counts.get('prior_updates', 0)} prior updates "
+            f"-> {output} [{size} bytes vs {base_size} full, "
+            f"version {manifest.version}]"
+        )
+        if output != delta_path_for(args.delta):
+            print(
+                f"note: servers watching {args.delta} look for "
+                f"{delta_path_for(args.delta)}; this delta will not be picked "
+                f"up automatically",
+                file=sys.stderr,
+            )
+        return 0
+    if args.output is None:
+        raise SystemExit("repro compile: error: --output is required without --delta")
     manifest = compile_dictionary(
         dictionary, args.output, version=args.version_label, click_log=click_log
     )
@@ -350,6 +404,22 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         f"{priors_note}) "
         f"-> {args.output} [{size} bytes, version {manifest.version}, "
         f"sha256 {manifest.content_hash[:12]}]"
+    )
+    return 0
+
+
+def _cmd_delta_apply(args: argparse.Namespace) -> int:
+    from repro.serving.delta import DictionaryDelta, apply_delta
+
+    base = SynonymArtifact.load(args.base)
+    delta = DictionaryDelta.load(args.delta)
+    applied = apply_delta(base, delta, output_path=args.output)
+    size = args.output.stat().st_size
+    print(
+        f"applied {delta.version} ({delta.manifest.counts['changed_entities']} changed, "
+        f"{delta.manifest.counts['removed_entities']} removed) onto "
+        f"{base.manifest.version} -> {args.output} [{size} bytes, "
+        f"{len(applied)} entries, sha256 {applied.manifest.content_hash[:12]}]"
     )
     return 0
 
@@ -506,6 +576,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "mine": _cmd_mine,
     "compile": _cmd_compile,
+    "delta-apply": _cmd_delta_apply,
     "match": _cmd_match,
     "serve": _cmd_serve,
     "server": _cmd_server,

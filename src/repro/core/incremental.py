@@ -22,7 +22,9 @@ entities whose traffic actually moved.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.clicklog.log import ClickLog, SearchLog
 from repro.clicklog.records import ClickRecord, SearchRecord
@@ -32,7 +34,31 @@ from repro.core.pipeline import SynonymMiner
 from repro.core.types import EntitySynonyms, MiningResult
 from repro.text.normalize import normalize
 
+if TYPE_CHECKING:  # serving sits above core in the layering
+    from repro.serving.artifact import EntryTuple
+
 __all__ = ["IncrementalSynonymMiner"]
+
+
+@dataclass
+class _PublishedState:
+    """What the last publish shipped, kept so the next one can be a delta.
+
+    ``entries`` is the full deduplicated entry sequence in compile order
+    (tuples share strings with the mining result, so this is references,
+    not copies); ``state_hash`` identifies it; ``content_hash`` is the
+    container hash of the full file when the last publish wrote one (a
+    delta publish leaves it ``""`` — the chained artifact is materialized
+    by the consumer, not here).
+    """
+
+    version: str
+    state_hash: str
+    content_hash: str
+    entries: "list[EntryTuple]"
+    priors: dict[str, float] | None
+    include_canonical: bool
+    entity_of_canonical: dict[str, str]
 
 
 class IncrementalSynonymMiner:
@@ -79,6 +105,13 @@ class IncrementalSynonymMiner:
         # Bumped by every refresh that re-mined something; stamps published
         # artifacts so servers can tell which refresh they are serving.
         self._generation = 0
+        # Delta-publish bookkeeping: which canonicals were re-mined and
+        # which queries received clicks since the last publish (the latter
+        # bounds the prior recomputation — only entities owning a clicked
+        # dictionary string can see their prior move).
+        self._published: _PublishedState | None = None
+        self._changed_since_publish: set[str] = set()
+        self._clicked_since_publish: set[str] = set()
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -130,6 +163,7 @@ class IncrementalSynonymMiner:
         for record in records:
             self.click_log.add(record)
             count += 1
+            self._clicked_since_publish.add(record.query)
             affected = self._url_to_values.get(record.url)
             if affected:
                 self._dirty.update(affected)
@@ -180,6 +214,7 @@ class IncrementalSynonymMiner:
                 self._candidate_to_values.setdefault(candidate, set()).add(canonical)
         self._dirty.clear()
         self._generation += 1
+        self._changed_since_publish.update(refreshed)
         return refreshed
 
     def _drop_candidate_edges(self, canonical: str) -> None:
@@ -225,7 +260,13 @@ class IncrementalSynonymMiner:
         return self._generation
 
     def publish(
-        self, catalog, path, *, include_canonical: bool = True, include_priors: bool = True
+        self,
+        catalog,
+        path,
+        *,
+        include_canonical: bool = True,
+        include_priors: bool = True,
+        delta: bool = False,
     ):
         """Compile the current cached result into a serving artifact.
 
@@ -238,17 +279,192 @@ class IncrementalSynonymMiner:
         each published generation carries popularity consistent with the
         traffic it was mined from.  Call :meth:`refresh` first if there are
         dirty entities.  Returns the written manifest.
+
+        With ``delta=True`` the publish is **incremental**: instead of
+        recompiling the whole dictionary, a layout-3 delta sidecar is
+        written to ``<path>.delta`` (see
+        :func:`~repro.serving.delta.delta_path_for`) carrying only the
+        entities re-mined since the last publish plus prior updates for
+        entities whose click volume moved — payload and compile work scale
+        with the dirty set, not the catalog.  A server watching *path*
+        applies the sidecar in memory; applying it reproduces, content
+        hash for content hash, what a full publish would have written.
+        Requires a prior publish as the base (the first publish must be
+        full) with the same *include_canonical* / *include_priors*
+        settings; click traffic must arrive via :meth:`ingest_clicks` for
+        prior updates to be tracked.
         """
+        # Imported lazily: serving sits above core in the layering.
         from repro.matching.dictionary import SynonymDictionary
-        from repro.serving.artifact import compile_dictionary
+        from repro.serving.artifact import compile_entries, compute_priors, dedupe_entries
+        from repro.serving.delta import delta_path_for
+
+        path = Path(path)
+        if delta:
+            return self._publish_delta(
+                catalog,
+                path,
+                include_canonical=include_canonical,
+                include_priors=include_priors,
+            )
 
         dictionary = SynonymDictionary.from_mining_result(
             self._result, catalog, include_canonical=include_canonical
         )
-        return compile_dictionary(
-            dictionary,
+        entries = dedupe_entries(dictionary)
+        priors = compute_priors(entries, self.click_log) if include_priors else None
+        manifest = compile_entries(
+            entries,
             path,
             version=f"gen-{self._generation}",
             config_fingerprint=self.config.fingerprint(),
-            click_log=self.click_log if include_priors else None,
+            priors=priors,
         )
+        # A sidecar from an earlier generation no longer applies to this
+        # base; leaving it around would only cost watchers a skip.
+        delta_path_for(path).unlink(missing_ok=True)
+        by_name = catalog.by_canonical_name()
+        self._published = _PublishedState(
+            version=manifest.version,
+            state_hash=str(manifest.extra["state_hash"]),
+            content_hash=manifest.content_hash,
+            entries=entries,
+            priors=priors,
+            include_canonical=include_canonical,
+            entity_of_canonical={
+                canonical: by_name[canonical].entity_id
+                for canonical in self._result.per_entity
+                if canonical in by_name
+            },
+        )
+        self._changed_since_publish.clear()
+        self._clicked_since_publish.clear()
+        return manifest
+
+    def _publish_delta(
+        self, catalog, path, *, include_canonical: bool, include_priors: bool
+    ):
+        from repro.matching.dictionary import SynonymDictionary
+        from repro.serving.artifact import compute_priors, dedupe_entries, state_hash
+        from repro.serving.delta import _DeltaSpec, delta_path_for, merge_state, write_delta
+
+        base = self._published
+        if base is None:
+            raise ValueError(
+                "no published base: publish a full artifact before delta=True"
+            )
+        if include_canonical != base.include_canonical:
+            raise ValueError(
+                "include_canonical differs from the published base; "
+                "publish a full artifact to change it"
+            )
+        if include_priors != (base.priors is not None):
+            raise ValueError(
+                "include_priors differs from the published base; "
+                "publish a full artifact to change it"
+            )
+
+        by_name = catalog.by_canonical_name()
+        # The changed set covers re-mined canonicals *and* canonicals whose
+        # catalog mapping moved since the last publish: a delisted entity
+        # must be removed (a full compile would drop it) and a newly listed
+        # or remapped canonical must ship its entries, even though neither
+        # made the canonical dirty.  Pure dict lookups — no re-mining.
+        changed: set[str] = set(self._changed_since_publish)
+        removed: set[str] = set()
+        for canonical in self._result.per_entity:
+            old_id = base.entity_of_canonical.get(canonical)
+            entity = by_name.get(canonical)
+            new_id = entity.entity_id if entity is not None else None
+            if old_id != new_id:
+                if old_id is not None:
+                    removed.add(old_id)
+                if new_id is not None:
+                    changed.add(canonical)
+
+        # Keep per_entity (i.e. compile) order: replaced-in-place entities
+        # keep their position, new ones append in this order — which is
+        # what makes base + delta reproduce a full compile byte for byte.
+        changed_canonicals = [
+            canonical for canonical in self._result.per_entity if canonical in changed
+        ]
+        sub = MiningResult()
+        for canonical in changed_canonicals:
+            sub.add(self._result[canonical])
+        mini = SynonymDictionary.from_mining_result(
+            sub, catalog, include_canonical=include_canonical
+        )
+        mini_entries = dedupe_entries(mini)
+        groups: dict[str, list] = {}
+        order: list[str] = []
+        for entry in mini_entries:
+            entity_id = entry[1]
+            if entity_id not in groups:
+                groups[entity_id] = []
+                order.append(entity_id)
+            groups[entity_id].append(entry)
+        removed -= set(groups)
+        # A changed entity that compiled to no entries (e.g. all synonyms
+        # retracted with include_canonical=False) is a removal too: a full
+        # compile would not emit it at all.
+        for canonical in changed_canonicals:
+            entity = by_name.get(canonical)
+            if entity is not None and entity.entity_id not in groups:
+                removed.add(entity.entity_id)
+
+        prior_updates: dict[str, float] | None = None
+        if include_priors:
+            prior_updates = compute_priors(mini_entries, self.click_log)
+            # Unchanged entities whose strings received clicks: their prior
+            # moved even though their entries did not.
+            owners: dict[str, set[str]] = {}
+            for text, entity_id, _source, _weight in base.entries:
+                owners.setdefault(text, set()).add(entity_id)
+            untouched_dirty: set[str] = set()
+            for query in self._clicked_since_publish:
+                for entity_id in owners.get(query, ()):
+                    if entity_id not in prior_updates and entity_id not in removed:
+                        untouched_dirty.add(entity_id)
+            if untouched_dirty:
+                dirty_entries = [
+                    entry for entry in base.entries if entry[1] in untouched_dirty
+                ]
+                prior_updates.update(compute_priors(dirty_entries, self.click_log))
+
+        spec = _DeltaSpec(
+            [(entity_id, groups[entity_id]) for entity_id in order],
+            sorted(removed),
+            prior_updates,
+        )
+        merged_entries, merged_priors = merge_state(base.entries, base.priors, spec)
+        new_state_hash = state_hash(merged_entries, merged_priors)
+        sidecar = delta_path_for(path)
+        manifest = write_delta(
+            sidecar,
+            version=f"gen-{self._generation}",
+            base_version=base.version,
+            base_state_hash=base.state_hash,
+            base_content_hash=base.content_hash,
+            target_state_hash=new_state_hash,
+            changed=spec.changed,
+            removed=spec.removed,
+            prior_updates=prior_updates,
+            config_fingerprint=self.config.fingerprint(),
+        )
+        entity_of_canonical = {
+            canonical: by_name[canonical].entity_id
+            for canonical in self._result.per_entity
+            if canonical in by_name
+        }
+        self._published = _PublishedState(
+            version=manifest.version,
+            state_hash=new_state_hash,
+            content_hash="",
+            entries=merged_entries,
+            priors=merged_priors,
+            include_canonical=include_canonical,
+            entity_of_canonical=entity_of_canonical,
+        )
+        self._changed_since_publish.clear()
+        self._clicked_since_publish.clear()
+        return manifest

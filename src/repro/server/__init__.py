@@ -10,7 +10,9 @@ where live Web queries arrive over the wire:
   ``/resolve`` (entities *ranked* over the artifact's embedded click
   priors, not just the tied set), ``/healthz``, ``/stats`` and an admin
   ``/reload``.  A background watcher thread polls ``maybe_reload()`` so an
-  incremental publish hot-swaps under live traffic, and SIGINT/SIGTERM
+  incremental publish hot-swaps under live traffic — a full republish is
+  cold-loaded, a delta sidecar (layout 3, see ``docs/ARTIFACT_FORMAT.md``)
+  is applied in memory and counted in ``/stats`` — and SIGINT/SIGTERM
   shut the daemon down cleanly (stats flushed, socket closed).
 * :class:`~repro.server.client.ServerClient` is the matching stdlib-only
   client, used by the tests, the benchmark load generator and the CI

@@ -9,7 +9,11 @@ Architecture — three kinds of thread share one
 * **the watcher thread** — polls ``service.maybe_reload()`` every
   ``watch_interval`` seconds, so republishing the artifact file atomically
   hot-swaps the dictionary under live traffic without dropping in-flight
-  requests (each request matches against the state it captured);
+  requests (each request matches against the state it captured); an
+  incremental publish that ships a ``<artifact>.delta`` sidecar
+  (:mod:`repro.serving.delta`) is applied in memory instead of
+  cold-loading a full file, surfaced as ``service.deltas_applied`` /
+  ``deltas_skipped`` in ``/stats``;
 * **the serve thread** — ``serve_forever`` runs either in the caller's
   thread (:meth:`MatchDaemon.run_forever`, the CLI path, with
   SIGINT/SIGTERM mapped to a clean shutdown) or in a background thread
@@ -334,6 +338,8 @@ class MatchDaemon:
                 "cache_misses": stats.cache_misses,
                 "hit_rate": stats.hit_rate,
                 "reloads": stats.reloads,
+                "deltas_applied": stats.deltas_applied,
+                "deltas_skipped": stats.deltas_skipped,
             },
             "artifact": {
                 "version": manifest.version,

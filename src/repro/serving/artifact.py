@@ -10,42 +10,41 @@ cold-loads with one read; :class:`SynonymArtifact` then implements the full
 packed bytes, materializing a :class:`DictionaryEntry` only when a lookup
 actually touches it.
 
-Layout (inside the :mod:`repro.storage.artifact` container, kind
-``"synonym-dictionary"``):
+The normative description of the on-disk format — container framing,
+manifest fields, byte-level block layouts for the full artifact (layouts 1
+and 2) and the delta sidecar (layout 3, :mod:`repro.serving.delta`), plus
+the reader compatibility matrix — lives in ``docs/ARTIFACT_FORMAT.md``.
+In short: a full artifact packs a deduplicated string pool, the entries as
+parallel arrays in dictionary insertion order, byte-sorted exact and token
+indexes, and (layout 2) an optional per-entity click-prior block.
 
-* ``strings.blob`` / ``strings.offsets`` — one deduplicated UTF-8 string
-  pool (entry texts, entity ids, sources and index tokens all share it)
-  with a cumulative offset table;
-* ``entries.text`` / ``entries.entity`` / ``entries.source`` /
-  ``entries.weight`` — the entries as four parallel packed arrays, in
-  dictionary insertion order;
-* ``exact.text`` / ``exact.starts`` / ``exact.entries`` — the exact index:
-  unique texts sorted by UTF-8 bytes, each owning a slice of entry ids
-  (binary search over raw bytes, no decoding on the probe path);
-* ``token.text`` / ``token.starts`` / ``token.postings`` — the token
-  index backing the fuzzy-fallback shortlist;
-* ``priors.entity`` / ``priors.value`` — *optional* (layout 2): one
-  click-volume prior per entity, precomputed from the click log that fed
-  the miner, so :class:`~repro.matching.resolver.MatchResolver` can rank
-  ambiguous matches offline without the log that produced the artifact.
+Two integrity identities are stamped into every manifest:
 
-All lookups are answered from these arrays; ``max_entry_tokens`` is
-precomputed into the manifest so the segmenter's span bound is O(1).
-Layout 1 artifacts (compiled before the priors block existed) still load;
-they simply report ``has_priors == False``.
+* the container's ``content_hash`` (sha256 over the raw blocks, checked on
+  load — see :mod:`repro.storage.artifact`), and
+* a logical ``state_hash`` (in ``extra``) over the ordered entry tuples and
+  the prior mapping — the identity :mod:`repro.serving.delta` uses to chain
+  incremental deltas onto a base artifact.
+
+Compilation is deterministic: the same entry sequence (after duplicate
+collapse) and priors always produce the same ``content_hash`` and
+``state_hash``, which is what makes ``base + delta`` reproducible.
 """
 
 from __future__ import annotations
 
+import hashlib
+import struct
 import sys
 from array import array
 from pathlib import Path
-from typing import Iterable, Iterator, Protocol
+from typing import Any, Iterable, Iterator, Mapping, Protocol
 
 from repro.matching.dictionary import DictionaryEntry
 from repro.storage.artifact import (
     ArtifactError,
     ArtifactManifest,
+    content_hash,
     read_artifact,
     read_manifest,
     write_artifact,
@@ -53,12 +52,29 @@ from repro.storage.artifact import (
 from repro.text.normalize import normalize
 from repro.text.tokenize import tokenize
 
-__all__ = ["ARTIFACT_KIND", "LAYOUT_VERSION", "compile_dictionary", "SynonymArtifact"]
+__all__ = [
+    "ARTIFACT_KIND",
+    "LAYOUT_VERSION",
+    "EntryTuple",
+    "dedupe_entries",
+    "compute_priors",
+    "state_hash",
+    "build_blocks",
+    "compile_entries",
+    "compile_dictionary",
+    "SynonymArtifact",
+]
 
 ARTIFACT_KIND = "synonym-dictionary"
 # Layout 2 added the optional priors block; prior-less artifacts from
-# layout 1 load unchanged.
+# layout 1 load unchanged.  Layout 3 is the delta *sidecar* (a different
+# artifact kind, see repro.serving.delta) — full artifacts stay layout 2.
 LAYOUT_VERSION = 2
+
+# One dictionary entry as plain data: (text, entity_id, source, weight),
+# with the text already normalized.  This is the unit the delta format and
+# the state hash are defined over.
+EntryTuple = tuple[str, str, str, float]
 
 _U32 = "I"
 _U64 = "Q"
@@ -99,59 +115,124 @@ class _StringPool:
         return sid
 
 
-def compile_dictionary(
-    dictionary: Iterable[DictionaryEntry],
-    path: str | Path,
-    *,
-    version: str = "1",
-    config_fingerprint: str = "",
-    created_unix: float | None = None,
-    click_log: ClickVolumeSource | None = None,
-) -> ArtifactManifest:
-    """Freeze *dictionary* into an immutable artifact file at *path*.
+def dedupe_entries(dictionary: Iterable[DictionaryEntry | EntryTuple]) -> list[EntryTuple]:
+    """Normalize *dictionary* into the canonical entry-tuple sequence.
 
-    *dictionary* is any iterable of :class:`DictionaryEntry` — typically a
-    :class:`~repro.matching.dictionary.SynonymDictionary`.  Entry texts are
-    normalized defensively, so compiling raw (never-added) entries matches
-    dictionary semantics.  The write is atomic (temp file + rename), which
-    is what makes live hot-swap via
-    :meth:`~repro.serving.service.MatchService.reload` safe.
-
-    When *click_log* is given, a **priors block** is embedded: for every
-    entity, the summed click volume of all its dictionary strings — exactly
-    the quantity :meth:`~repro.matching.resolver.MatchResolver.prior`
-    computes from a live log, precomputed so ranked resolution works
-    offline from the artifact alone.
+    Applies exactly the semantics of
+    :meth:`~repro.matching.dictionary.SynonymDictionary.add`: texts are
+    normalized, empty texts dropped, and duplicate ``(text, entity)`` pairs
+    collapse onto their first position keeping the max-weight source.  The
+    resulting sequence is what the state hash and the delta format are
+    defined over; iterating an actual ``SynonymDictionary`` is a no-op
+    pass-through (it already holds deduplicated, normalized entries).
     """
+    rows: list[list[Any]] = []
+    seen: dict[tuple[str, str], int] = {}
+    for entry in dictionary:
+        if isinstance(entry, tuple):
+            raw_text, entity_id, source, weight = entry
+        else:
+            raw_text, entity_id, source, weight = (
+                entry.text, entry.entity_id, entry.source, entry.weight,
+            )
+        text = normalize(raw_text)
+        if not text:
+            continue
+        key = (text, entity_id)
+        position = seen.get(key)
+        if position is not None:
+            if float(weight) > rows[position][3]:
+                rows[position][2] = source
+                rows[position][3] = float(weight)
+            continue
+        seen[key] = len(rows)
+        rows.append([text, entity_id, source, float(weight)])
+    return [tuple(row) for row in rows]  # type: ignore[misc]
+
+
+def compute_priors(
+    entries: Iterable[EntryTuple], click_log: ClickVolumeSource
+) -> dict[str, float]:
+    """Entity id → summed click volume of its dictionary strings.
+
+    The per-entity quantity
+    :meth:`~repro.matching.resolver.MatchResolver.prior` computes from a
+    live log, evaluated over the deduplicated *entries* so an artifact's
+    priors block and a live-log resolver agree number for number.
+    """
+    texts_by_entity: dict[str, list[str]] = {}
+    for text, entity_id, _source, _weight in entries:
+        texts_by_entity.setdefault(entity_id, []).append(text)
+    return {
+        entity_id: float(sum(click_log.total_clicks(text) for text in texts))
+        for entity_id, texts in texts_by_entity.items()
+    }
+
+
+def state_hash(
+    entries: Iterable[EntryTuple], priors: Mapping[str, float] | None
+) -> str:
+    """Logical identity of a compiled dictionary: sha256 over its state.
+
+    Covers the *ordered* entry tuples and the prior mapping (sorted by
+    entity id), nothing else — not timestamps, not version labels, not the
+    packed block encoding.  Two artifacts with equal state hashes serve
+    identical results, and a delta names its base and target states by this
+    hash (see ``docs/ARTIFACT_FORMAT.md``).
+    """
+    digest = hashlib.sha256()
+    for text, entity_id, source, weight in entries:
+        for part in (text, entity_id, source):
+            raw = part.encode("utf-8")
+            digest.update(struct.pack("<Q", len(raw)))
+            digest.update(raw)
+        digest.update(struct.pack("<d", float(weight)))
+    if priors is None:
+        digest.update(b"\x00")
+    else:
+        digest.update(b"\x01")
+        for entity_id in sorted(priors):
+            raw = entity_id.encode("utf-8")
+            digest.update(struct.pack("<Q", len(raw)))
+            digest.update(raw)
+            digest.update(struct.pack("<d", float(priors[entity_id])))
+    return digest.hexdigest()
+
+
+def build_blocks(
+    entries: list[EntryTuple],
+    *,
+    click_log: ClickVolumeSource | None = None,
+    priors: Mapping[str, float] | None = None,
+) -> tuple[dict[str, bytes], dict[str, int], dict[str, Any]]:
+    """Pack a deduplicated entry sequence into artifact blocks.
+
+    Returns ``(blocks, counts, extra)`` ready for
+    :func:`~repro.storage.artifact.write_artifact` (or an in-memory
+    :class:`SynonymArtifact`).  The priors block comes from exactly one
+    source: a *click_log* (priors computed here, the compile path) or a
+    precomputed *priors* mapping covering every entity in *entries* (the
+    delta-apply path, where the log that produced the base is not
+    available).  Packing is deterministic, so equal inputs produce equal
+    content and state hashes.
+    """
+    if click_log is not None and priors is not None:
+        raise ValueError("pass click_log or priors, not both")
     pool = _StringPool()
     entry_text: list[int] = []
     entry_entity: list[int] = []
     entry_source: list[int] = []
     entry_weight: list[float] = []
     by_text: dict[int, list[int]] = {}
-    seen: dict[tuple[int, int], int] = {}
     max_entry_tokens = 0
 
-    for entry in dictionary:
-        text = normalize(entry.text)
-        if not text:
-            continue
+    for text, entity_id, source, weight in entries:
         text_sid = pool.intern(text)
-        entity_sid = pool.intern(entry.entity_id)
-        key = (text_sid, entity_sid)
-        position = seen.get(key)
-        if position is not None:
-            # Same max-weight collapse as SynonymDictionary.add.
-            if float(entry.weight) > entry_weight[position]:
-                entry_source[position] = pool.intern(entry.source)
-                entry_weight[position] = float(entry.weight)
-            continue
-        seen[key] = len(entry_text)
         by_text.setdefault(text_sid, []).append(len(entry_text))
         entry_text.append(text_sid)
-        entry_entity.append(entity_sid)
-        entry_source.append(pool.intern(entry.source))
-        entry_weight.append(float(entry.weight))
+        entry_entity.append(pool.intern(entity_id))
+        entry_source.append(pool.intern(source))
+        entry_weight.append(float(weight))
 
     token_to_texts: dict[int, set[int]] = {}
     for text_sid in by_text:
@@ -203,42 +284,98 @@ def compile_dictionary(
         "tokens": len(token_text),
         "strings": len(pool.strings),
     }
-    has_priors = click_log is not None
+    emitted_priors: dict[str, float] | None = None
     if click_log is not None:
-        texts_by_entity: dict[int, list[int]] = {}
-        for text_sid, entity_sid in zip(entry_text, entry_entity):
-            texts_by_entity.setdefault(entity_sid, []).append(text_sid)
-        prior_entities = sorted(texts_by_entity, key=by_bytes)
+        emitted_priors = compute_priors(entries, click_log)
+    elif priors is not None:
+        present = {pool.strings[entity_sid] for entity_sid in entry_entity}
+        missing = sorted(present - set(priors))
+        if missing:
+            raise ArtifactError(
+                f"priors mapping is missing {len(missing)} entities "
+                f"(first: {missing[0]!r})"
+            )
+        emitted_priors = {entity_id: float(priors[entity_id]) for entity_id in present}
+    if emitted_priors is not None:
+        prior_entities = sorted(
+            {entity_sid for entity_sid in entry_entity}, key=by_bytes
+        )
         blocks["priors.entity"] = _pack(_U32, prior_entities)
         blocks["priors.value"] = _pack(
             _F64,
-            (
-                float(
-                    sum(
-                        click_log.total_clicks(pool.strings[text_sid])
-                        for text_sid in texts_by_entity[entity_sid]
-                    )
-                )
-                for entity_sid in prior_entities
-            ),
+            (emitted_priors[pool.strings[entity_sid]] for entity_sid in prior_entities),
         )
         counts["prior_entities"] = len(prior_entities)
 
+    extra = {
+        "layout_version": LAYOUT_VERSION,
+        "max_entry_tokens": max_entry_tokens,
+        "byteorder": sys.byteorder,
+        "uint_itemsize": array(_U32).itemsize,
+        "has_priors": emitted_priors is not None,
+        "state_hash": state_hash(entries, emitted_priors),
+    }
+    return blocks, counts, extra
+
+
+def compile_entries(
+    entries: list[EntryTuple],
+    path: str | Path,
+    *,
+    version: str = "1",
+    config_fingerprint: str = "",
+    created_unix: float | None = None,
+    click_log: ClickVolumeSource | None = None,
+    priors: Mapping[str, float] | None = None,
+) -> ArtifactManifest:
+    """Write an already-deduplicated entry sequence as a full artifact."""
+    blocks, counts, extra = build_blocks(entries, click_log=click_log, priors=priors)
     return write_artifact(
         path,
         blocks,
         kind=ARTIFACT_KIND,
         version=version,
         counts=counts,
-        extra={
-            "layout_version": LAYOUT_VERSION,
-            "max_entry_tokens": max_entry_tokens,
-            "byteorder": sys.byteorder,
-            "uint_itemsize": array(_U32).itemsize,
-            "has_priors": has_priors,
-        },
+        extra=extra,
         config_fingerprint=config_fingerprint,
         created_unix=created_unix,
+    )
+
+
+def compile_dictionary(
+    dictionary: Iterable[DictionaryEntry],
+    path: str | Path,
+    *,
+    version: str = "1",
+    config_fingerprint: str = "",
+    created_unix: float | None = None,
+    click_log: ClickVolumeSource | None = None,
+    priors: Mapping[str, float] | None = None,
+) -> ArtifactManifest:
+    """Freeze *dictionary* into an immutable artifact file at *path*.
+
+    *dictionary* is any iterable of :class:`DictionaryEntry` — typically a
+    :class:`~repro.matching.dictionary.SynonymDictionary`.  Entry texts are
+    normalized defensively, so compiling raw (never-added) entries matches
+    dictionary semantics.  The write is atomic (temp file + rename), which
+    is what makes live hot-swap via
+    :meth:`~repro.serving.service.MatchService.reload` safe.
+
+    When *click_log* is given, a **priors block** is embedded: for every
+    entity, the summed click volume of all its dictionary strings — exactly
+    the quantity :meth:`~repro.matching.resolver.MatchResolver.prior`
+    computes from a live log, precomputed so ranked resolution works
+    offline from the artifact alone.  A precomputed *priors* mapping does
+    the same without the log (used by delta application).
+    """
+    return compile_entries(
+        dedupe_entries(dictionary),
+        path,
+        version=version,
+        config_fingerprint=config_fingerprint,
+        created_unix=created_unix,
+        click_log=click_log,
+        priors=priors,
     )
 
 
@@ -305,6 +442,36 @@ class SynonymArtifact:
         """Cold-load an artifact: one file read plus flat array copies."""
         manifest, blocks = read_artifact(path, expected_kind=ARTIFACT_KIND, verify=verify)
         return cls(manifest, blocks)
+
+    @classmethod
+    def from_blocks(
+        cls,
+        blocks: Mapping[str, bytes],
+        *,
+        version: str,
+        counts: Mapping[str, int],
+        extra: Mapping[str, Any],
+        config_fingerprint: str = "",
+        created_unix: float = 0.0,
+    ) -> "SynonymArtifact":
+        """Build an in-memory artifact straight from compiled blocks.
+
+        Used by delta application to materialize the post-apply artifact
+        without touching disk.  The manifest's ``blocks`` spans are not
+        file offsets (there is no file); everything else — including the
+        content hash — is exactly what :func:`compile_entries` would write.
+        """
+        manifest = ArtifactManifest(
+            kind=ARTIFACT_KIND,
+            version=version,
+            created_unix=created_unix,
+            counts=dict(counts),
+            extra=dict(extra),
+            config_fingerprint=config_fingerprint,
+            content_hash=content_hash(blocks),
+            blocks={name: (0, len(blocks[name])) for name in blocks},
+        )
+        return cls(manifest, {name: memoryview(data) for name, data in blocks.items()})
 
     @staticmethod
     def peek_manifest(path: str | Path) -> ArtifactManifest:
@@ -419,6 +586,45 @@ class SynonymArtifact:
                 for entity_sid, value in zip(self._prior_entity, self._prior_value)
             }
         return self._priors
+
+    # ------------------------------------------------------------------ #
+    # Delta support
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state_hash(self) -> str:
+        """Logical state identity, or ``""`` for pre-delta artifacts.
+
+        Deltas chain on this hash (see :mod:`repro.serving.delta`); an
+        artifact compiled before it existed cannot be a delta base.
+        """
+        return str(self.manifest.extra.get("state_hash", ""))
+
+    def entry_tuples(self) -> Iterator[EntryTuple]:
+        """Every entry as a plain ``(text, entity, source, weight)`` tuple.
+
+        Cheaper than materializing :class:`DictionaryEntry` objects; this
+        is the sequence delta application merges over.
+        """
+        for entry_id in range(len(self._entry_text)):
+            yield (
+                self._string(self._entry_text[entry_id]),
+                self._string(self._entry_entity[entry_id]),
+                self._string(self._entry_source[entry_id]),
+                self._entry_weight[entry_id],
+            )
+
+    def apply_delta(self, delta) -> "SynonymArtifact":
+        """Apply a :class:`~repro.serving.delta.DictionaryDelta` in memory.
+
+        Returns the post-apply artifact; refuses (with
+        :class:`~repro.storage.artifact.ArtifactError`) a delta built
+        against a different base state.  See
+        :func:`repro.serving.delta.apply_delta` for the full contract.
+        """
+        from repro.serving.delta import apply_delta
+
+        return apply_delta(self, delta)
 
     @property
     def max_entry_tokens(self) -> int:

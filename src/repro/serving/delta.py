@@ -1,0 +1,509 @@
+"""Delta artifacts: incremental publish/apply for compiled dictionaries.
+
+A full :class:`~repro.serving.artifact.SynonymArtifact` republish ships the
+whole dictionary even when one entity changed — on a million-entity catalog
+that is megabytes of transfer and a full recompile to move one synonym.
+This module is the incremental path: a **delta sidecar** (layout 3 in
+``docs/ARTIFACT_FORMAT.md``, kind ``"synonym-dictionary-delta"``) carries
+only what changed since a *base* artifact:
+
+* **changed entities** — each with its complete new entry list (replace
+  semantics: the base entity's entries are dropped and these take their
+  place, so shrinking a synonym set removes stale postings);
+* **removed entities** — dropped outright;
+* **prior updates** — new click-volume priors for entities whose traffic
+  moved, including entities whose *entries* did not change.
+
+Chaining is verified by state hash: the delta manifest names its base
+(``base_state_hash``, plus ``base_content_hash`` when the publisher knows
+it) and its target (``state_hash``); :func:`apply_delta` refuses a
+mismatched base and checks that the merged result lands exactly on the
+recorded target.  Because compilation is deterministic, ``gen-0`` plus N
+applied deltas is content-hash-identical to a full compile at ``gen-N``
+(pinned by the chain-apply equivalence tests).
+
+Producers: :meth:`repro.core.incremental.IncrementalSynonymMiner.publish`
+with ``delta=True`` (tracks its own dirty set), :func:`diff_delta` (diffs
+two dictionary states, the CLI ``compile --delta`` path).  Consumers:
+:func:`apply_delta` / ``python -m repro delta-apply`` offline, and
+:meth:`repro.serving.service.MatchService.maybe_reload`, which watches the
+``<artifact>.delta`` sidecar (see :func:`delta_path_for`) and applies it in
+memory instead of cold-loading a full file.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.serving.artifact import (
+    ARTIFACT_KIND,
+    ClickVolumeSource,
+    EntryTuple,
+    SynonymArtifact,
+    _F64,
+    _StringPool,
+    _U32,
+    _U64,
+    _pack,
+    _unpack,
+    build_blocks,
+    compute_priors,
+    dedupe_entries,
+    state_hash,
+)
+from repro.storage.artifact import (
+    ArtifactError,
+    ArtifactManifest,
+    read_artifact,
+    write_artifact,
+)
+
+__all__ = [
+    "DELTA_KIND",
+    "DELTA_LAYOUT_VERSION",
+    "delta_path_for",
+    "write_delta",
+    "DictionaryDelta",
+    "merge_state",
+    "apply_delta",
+    "diff_delta",
+]
+
+DELTA_KIND = "synonym-dictionary-delta"
+# Layouts 1/2 are the full artifact (see repro.serving.artifact); layout 3
+# is this sidecar.  A pre-delta reader asked to load one fails cleanly on
+# the kind check, never on a misparse.
+DELTA_LAYOUT_VERSION = 3
+
+
+def delta_path_for(path: str | Path) -> Path:
+    """The sidecar path a delta for *path* is published to (``<path>.delta``).
+
+    One convention shared by the publisher
+    (:meth:`~repro.core.incremental.IncrementalSynonymMiner.publish`) and
+    the consumer (:meth:`~repro.serving.service.MatchService.maybe_reload`),
+    so a server watching an artifact file needs no extra configuration to
+    pick up deltas.
+    """
+    return Path(str(path) + ".delta")
+
+
+def write_delta(
+    path: str | Path,
+    *,
+    version: str,
+    base_version: str,
+    base_state_hash: str,
+    target_state_hash: str,
+    changed: Sequence[tuple[str, Sequence[EntryTuple]]],
+    removed: Sequence[str],
+    prior_updates: Mapping[str, float] | None,
+    base_content_hash: str = "",
+    config_fingerprint: str = "",
+    created_unix: float | None = None,
+) -> ArtifactManifest:
+    """Atomically write a delta sidecar (layout 3) to *path*.
+
+    *changed* is ordered: entities already in the base are replaced in
+    place, entities new to the base are appended in this order — which is
+    what lets an applied delta reproduce the entry order (and therefore the
+    content hash) of a full compile.  *base_content_hash* is optional
+    because a publisher chaining delta-on-delta never materializes the
+    intermediate full artifact; the state hashes carry the verification.
+    """
+    if not base_state_hash:
+        raise ValueError("base_state_hash is required (the base must carry one)")
+    changed_ids = {entity_id for entity_id, _entries in changed}
+    if len(changed_ids) != len(changed):
+        raise ValueError("changed entities must be unique")
+    overlap = changed_ids & set(removed)
+    if overlap:
+        raise ValueError(f"entities both changed and removed: {sorted(overlap)[:3]}")
+
+    pool = _StringPool()
+    changed_entity = [pool.intern(entity_id) for entity_id, _entries in changed]
+    changed_starts = [0]
+    changed_text: list[int] = []
+    changed_source: list[int] = []
+    changed_weight: list[float] = []
+    for _entity_id, entries in changed:
+        for text, _entity, source, weight in entries:
+            changed_text.append(pool.intern(text))
+            changed_source.append(pool.intern(source))
+            changed_weight.append(float(weight))
+        changed_starts.append(len(changed_text))
+    removed_entity = [pool.intern(entity_id) for entity_id in removed]
+
+    blocks = {
+        "changed.entity": _pack(_U32, changed_entity),
+        "changed.starts": _pack(_U32, changed_starts),
+        "changed.text": _pack(_U32, changed_text),
+        "changed.source": _pack(_U32, changed_source),
+        "changed.weight": _pack(_F64, changed_weight),
+        "removed.entity": _pack(_U32, removed_entity),
+    }
+    counts = {
+        "changed_entities": len(changed),
+        "removed_entities": len(removed),
+        "entries": len(changed_text),
+    }
+    if prior_updates is not None:
+        prior_items = sorted(prior_updates.items())
+        blocks["priors.entity"] = _pack(
+            _U32, (pool.intern(entity_id) for entity_id, _value in prior_items)
+        )
+        blocks["priors.value"] = _pack(
+            _F64, (float(value) for _entity_id, value in prior_items)
+        )
+        counts["prior_updates"] = len(prior_items)
+    # The string pool is interned last-minute above, so encode after all
+    # intern calls have run.
+    encoded = [text.encode("utf-8") for text in pool.strings]
+    offsets = [0]
+    for raw in encoded:
+        offsets.append(offsets[-1] + len(raw))
+    blocks["strings.blob"] = b"".join(encoded)
+    blocks["strings.offsets"] = _pack(_U64, offsets)
+
+    return write_artifact(
+        path,
+        blocks,
+        kind=DELTA_KIND,
+        version=version,
+        counts=counts,
+        extra={
+            "layout_version": DELTA_LAYOUT_VERSION,
+            "base_version": base_version,
+            "base_state_hash": base_state_hash,
+            "base_content_hash": base_content_hash,
+            "state_hash": target_state_hash,
+            "has_priors": prior_updates is not None,
+            "byteorder": sys.byteorder,
+            "uint_itemsize": array(_U32).itemsize,
+        },
+        config_fingerprint=config_fingerprint,
+        created_unix=created_unix,
+    )
+
+
+class DictionaryDelta:
+    """A loaded delta sidecar: the change set between two dictionary states.
+
+    Instances are immutable views decoded once at load; the interesting
+    surface is :attr:`changed` / :attr:`removed` / :attr:`prior_updates`
+    plus the chain-verification hashes.  Apply one with
+    :func:`apply_delta` or
+    :meth:`~repro.serving.artifact.SynonymArtifact.apply_delta`.
+    """
+
+    def __init__(self, manifest: ArtifactManifest, blocks: dict[str, memoryview]) -> None:
+        if manifest.kind != DELTA_KIND:
+            raise ArtifactError(f"not a synonym dictionary delta: {manifest.kind!r}")
+        extra = manifest.extra
+        if extra.get("layout_version", 0) > DELTA_LAYOUT_VERSION:
+            raise ArtifactError(
+                f"delta layout {extra.get('layout_version')} is newer than "
+                f"supported ({DELTA_LAYOUT_VERSION})"
+            )
+        if extra.get("uint_itemsize") != array(_U32).itemsize:
+            raise ArtifactError("delta was built on an incompatible platform")
+        self.manifest = manifest
+
+        offsets = _unpack(_U64, blocks["strings.offsets"])
+        changed_entity = _unpack(_U32, blocks["changed.entity"])
+        changed_starts = _unpack(_U32, blocks["changed.starts"])
+        changed_text = _unpack(_U32, blocks["changed.text"])
+        changed_source = _unpack(_U32, blocks["changed.source"])
+        changed_weight = _unpack(_F64, blocks["changed.weight"])
+        removed_entity = _unpack(_U32, blocks["removed.entity"])
+        prior_entity = prior_value = None
+        if "priors.entity" in blocks:
+            prior_entity = _unpack(_U32, blocks["priors.entity"])
+            prior_value = _unpack(_F64, blocks["priors.value"])
+        if extra.get("byteorder", sys.byteorder) != sys.byteorder:
+            for values in (
+                offsets, changed_entity, changed_starts, changed_text,
+                changed_source, changed_weight, removed_entity,
+                prior_entity, prior_value,
+            ):
+                if values is not None:
+                    values.byteswap()
+
+        blob = blocks["strings.blob"]
+
+        def string(sid: int) -> str:
+            return str(blob[offsets[sid] : offsets[sid + 1]], "utf-8")
+
+        self.changed: list[tuple[str, list[EntryTuple]]] = []
+        for slot, entity_sid in enumerate(changed_entity):
+            entity_id = string(entity_sid)
+            entries: list[EntryTuple] = [
+                (
+                    string(changed_text[i]),
+                    entity_id,
+                    string(changed_source[i]),
+                    changed_weight[i],
+                )
+                for i in range(changed_starts[slot], changed_starts[slot + 1])
+            ]
+            self.changed.append((entity_id, entries))
+        self.removed: list[str] = [string(sid) for sid in removed_entity]
+        self.prior_updates: dict[str, float] | None = None
+        if prior_entity is not None and prior_value is not None:
+            self.prior_updates = {
+                string(sid): value for sid, value in zip(prior_entity, prior_value)
+            }
+
+    @classmethod
+    def load(cls, path: str | Path, *, verify: bool = True) -> "DictionaryDelta":
+        """Load a delta sidecar (content hash verified by default)."""
+        manifest, blocks = read_artifact(path, expected_kind=DELTA_KIND, verify=verify)
+        return cls(manifest, blocks)
+
+    # Chain identities ------------------------------------------------- #
+
+    @property
+    def version(self) -> str:
+        """Version label of the state this delta produces (e.g. ``gen-3``)."""
+        return self.manifest.version
+
+    @property
+    def base_version(self) -> str:
+        return str(self.manifest.extra.get("base_version", ""))
+
+    @property
+    def base_state_hash(self) -> str:
+        return str(self.manifest.extra.get("base_state_hash", ""))
+
+    @property
+    def base_content_hash(self) -> str:
+        """Container hash of the base file, or ``""`` when chained past it."""
+        return str(self.manifest.extra.get("base_content_hash", ""))
+
+    @property
+    def state_hash(self) -> str:
+        """State hash the applied artifact must land on."""
+        return str(self.manifest.extra.get("state_hash", ""))
+
+    @property
+    def has_priors(self) -> bool:
+        return bool(self.manifest.extra.get("has_priors", False))
+
+
+class _DeltaSpec:
+    """The in-memory change set a publisher merges before writing a delta."""
+
+    def __init__(
+        self,
+        changed: Sequence[tuple[str, Sequence[EntryTuple]]],
+        removed: Sequence[str],
+        prior_updates: Mapping[str, float] | None,
+    ) -> None:
+        self.changed = list(changed)
+        self.removed = list(removed)
+        self.prior_updates = dict(prior_updates) if prior_updates is not None else None
+        self.has_priors = prior_updates is not None
+
+
+def merge_state(
+    base_entries: Iterable[EntryTuple],
+    base_priors: Mapping[str, float] | None,
+    delta: "DictionaryDelta | _DeltaSpec",
+) -> tuple[list[EntryTuple], dict[str, float] | None]:
+    """Merge a delta onto a base state: ``(entries, priors)`` of the target.
+
+    Replace semantics, order-preserving: a changed entity's new entries
+    take the position of its first base entry (later base entries of that
+    entity are dropped — this is what removes stale postings), entities new
+    to the base are appended in delta order, removed entities disappear.
+    The same function backs both the publisher (computing the target state
+    hash before writing) and :func:`apply_delta`, so the two can never
+    disagree about what a delta means.
+    """
+    replacement = {entity_id: list(entries) for entity_id, entries in delta.changed}
+    dropped = set(delta.removed) | set(replacement)
+    emitted: set[str] = set()
+    merged: list[EntryTuple] = []
+    for entry in base_entries:
+        entity_id = entry[1]
+        if entity_id in dropped:
+            if entity_id in replacement and entity_id not in emitted:
+                merged.extend(replacement[entity_id])
+                emitted.add(entity_id)
+            continue
+        merged.append(entry)
+    for entity_id, entries in delta.changed:
+        if entity_id not in emitted:
+            merged.extend(entries)
+            emitted.add(entity_id)
+
+    if delta.has_priors != (base_priors is not None):
+        raise ArtifactError(
+            "priors mismatch: base "
+            + ("has" if base_priors is not None else "lacks")
+            + " a priors block but the delta "
+            + ("lacks" if base_priors is None else "carries")
+            + " prior updates"
+        )
+    if base_priors is None:
+        return merged, None
+    updates = delta.prior_updates or {}
+    priors: dict[str, float] = {}
+    for entity_id in {entry[1] for entry in merged}:
+        if entity_id in updates:
+            priors[entity_id] = float(updates[entity_id])
+        elif entity_id in base_priors:
+            priors[entity_id] = float(base_priors[entity_id])
+        else:
+            raise ArtifactError(f"delta provides no prior for entity {entity_id!r}")
+    return merged, priors
+
+
+def apply_delta(
+    base: SynonymArtifact,
+    delta: DictionaryDelta,
+    *,
+    output_path: str | Path | None = None,
+) -> SynonymArtifact:
+    """Materialize the full artifact a delta describes on top of *base*.
+
+    Verification, in order: the base must carry a state hash (pre-delta
+    artifacts cannot chain — republish full once), the delta's
+    ``base_state_hash`` must match it, the delta's ``base_content_hash``
+    (when recorded) must match the base container hash, and the merged
+    result must land exactly on the delta's target ``state_hash`` — so a
+    divergent base can never silently produce a corrupted dictionary.
+
+    Returns the in-memory post-apply artifact; with *output_path* the same
+    blocks are also written (atomically) as a full layout-2 artifact file.
+    """
+    if not base.state_hash:
+        raise ArtifactError(
+            "base artifact predates delta support (no state hash); "
+            "republish a full artifact first"
+        )
+    if delta.base_state_hash != base.state_hash:
+        raise ArtifactError(
+            f"delta base mismatch: delta {delta.version!r} was built against "
+            f"{delta.base_version!r} (state {delta.base_state_hash[:12]}), but this "
+            f"artifact is {base.manifest.version!r} (state {base.state_hash[:12]})"
+        )
+    if delta.base_content_hash and delta.base_content_hash != base.manifest.content_hash:
+        raise ArtifactError(
+            "delta base mismatch: base container hash differs from the one "
+            "the delta was published against"
+        )
+    entries, priors = merge_state(base.entry_tuples(), base.priors(), delta)
+    blocks, counts, extra = build_blocks(entries, priors=priors)
+    if delta.state_hash and extra["state_hash"] != delta.state_hash:
+        raise ArtifactError(
+            "applied state hash mismatch: merging this delta did not produce "
+            "the state it was published for (divergent base?)"
+        )
+    fingerprint = delta.manifest.config_fingerprint
+    if output_path is not None:
+        write_artifact(
+            Path(output_path),
+            blocks,
+            kind=ARTIFACT_KIND,
+            version=delta.version,
+            counts=counts,
+            extra=extra,
+            config_fingerprint=fingerprint,
+        )
+    return SynonymArtifact.from_blocks(
+        blocks,
+        version=delta.version,
+        counts=counts,
+        extra=extra,
+        config_fingerprint=fingerprint,
+        created_unix=delta.manifest.created_unix,
+    )
+
+
+def diff_delta(
+    base: SynonymArtifact,
+    new_dictionary: Iterable,
+    path: str | Path,
+    *,
+    version: str,
+    config_fingerprint: str = "",
+    click_log: ClickVolumeSource | None = None,
+    created_unix: float | None = None,
+) -> ArtifactManifest:
+    """Diff *new_dictionary* against *base* and write the delta sidecar.
+
+    The whole-state diff for producers without incremental bookkeeping
+    (``python -m repro compile --delta``): entities whose entry list
+    changed, appeared or disappeared go into the delta, plus prior updates
+    for entities whose click volume moved.  *click_log* must be given iff
+    the base carries priors.
+
+    Applying the result reproduces the new dictionary's entries and
+    priors; the entry *order* is the base's order with new entities
+    appended, so the applied content hash equals a direct compile of
+    *new_dictionary* exactly when the new dictionary extends the base
+    in place (the common refresh shape).  Either way the delta is
+    self-consistent: its recorded target state hash is the merged state,
+    which :func:`apply_delta` verifies.
+    """
+    if not base.state_hash:
+        raise ArtifactError(
+            "base artifact predates delta support (no state hash); "
+            "recompile it full once before publishing deltas against it"
+        )
+    if (click_log is not None) != base.has_priors:
+        raise ArtifactError(
+            "priors mismatch: pass click_log iff the base artifact has priors "
+            f"(base has_priors={base.has_priors})"
+        )
+    new_entries = dedupe_entries(new_dictionary)
+    new_groups: dict[str, list[EntryTuple]] = {}
+    new_order: list[str] = []
+    for entry in new_entries:
+        entity_id = entry[1]
+        if entity_id not in new_groups:
+            new_groups[entity_id] = []
+            new_order.append(entity_id)
+        new_groups[entity_id].append(entry)
+    base_groups: dict[str, list[EntryTuple]] = {}
+    for entry in base.entry_tuples():
+        base_groups.setdefault(entry[1], []).append(entry)
+
+    changed = [
+        (entity_id, new_groups[entity_id])
+        for entity_id in new_order
+        if base_groups.get(entity_id) != new_groups[entity_id]
+    ]
+    removed = sorted(set(base_groups) - set(new_groups))
+
+    prior_updates: dict[str, float] | None = None
+    base_priors = base.priors()
+    if click_log is not None:
+        new_priors = compute_priors(new_entries, click_log)
+        changed_ids = {entity_id for entity_id, _entries in changed}
+        assert base_priors is not None
+        prior_updates = {
+            entity_id: value
+            for entity_id, value in new_priors.items()
+            if entity_id in changed_ids or base_priors.get(entity_id) != value
+        }
+
+    spec = _DeltaSpec(changed, removed, prior_updates)
+    merged_entries, merged_priors = merge_state(base.entry_tuples(), base_priors, spec)
+    return write_delta(
+        path,
+        version=version,
+        base_version=base.manifest.version,
+        base_state_hash=base.state_hash,
+        base_content_hash=base.manifest.content_hash,
+        target_state_hash=state_hash(merged_entries, merged_priors),
+        changed=changed,
+        removed=removed,
+        prior_updates=prior_updates,
+        config_fingerprint=config_fingerprint,
+        created_unix=created_unix,
+    )

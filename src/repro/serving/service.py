@@ -14,6 +14,13 @@ a bare :class:`~repro.matching.matcher.QueryMatcher`:
   so an incremental refresh can publish a new artifact file (atomically,
   see :mod:`repro.storage.artifact`) and live matching never observes a
   half-built index; :meth:`maybe_reload` makes that a cheap poll;
+* it **applies deltas** — :meth:`maybe_reload` also watches the
+  ``<artifact>.delta`` sidecar (:mod:`repro.serving.delta`): an
+  incremental publish that ships only the changed entities is applied to
+  the in-memory artifact instead of cold-loading a full file, counted in
+  ``stats.deltas_applied``; a sidecar that does not chain onto the
+  current state is skipped (``stats.deltas_skipped``) and serving
+  continues on the artifact it has;
 * it **resolves** — :meth:`resolve` follows a match with a
   :class:`~repro.matching.resolver.MatchResolver` ranking over the
   artifact's embedded click priors, so ambiguous queries come back as an
@@ -53,6 +60,8 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     reloads: int = 0
+    deltas_applied: int = 0
+    deltas_skipped: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -101,6 +110,9 @@ class _ServingState:
     # the stamp robust — atomic republication always creates a new inode,
     # even when size and a coarse-granularity mtime happen to collide.
     source_stamp: tuple[int, int, int] | None
+    # Stamp of the delta sidecar last applied (or inspected and skipped),
+    # so an unchanged sidecar is never re-read on the poll path.
+    delta_stamp: tuple[int, int, int] | None = None
 
 
 class MatchService:
@@ -141,6 +153,8 @@ class MatchService:
         self._queries = 0
         self._cache_hits = 0
         self._reloads = 0
+        self._deltas_applied = 0
+        self._deltas_skipped = 0
         # _lock serializes the cheap shared-state touches (cache get/put,
         # counter bumps); matching itself runs outside it.  _reload_lock
         # serializes state builds so concurrent reload()/maybe_reload()
@@ -152,6 +166,11 @@ class MatchService:
         else:
             self._path = Path(artifact)
             self._state = self._load_state(self._path)
+            # A pending sidecar from an incremental publish is part of the
+            # current logical state: fold it in before serving (a restart
+            # otherwise answers from the stale pre-delta base).
+            with self._reload_lock:
+                self._apply_pending_delta_locked()
 
     # ------------------------------------------------------------------ #
     # Loading / hot-swap
@@ -211,26 +230,93 @@ class MatchService:
             return None
         return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
 
-    def maybe_reload(self) -> bool:
-        """Reload iff the artifact file changed since it was last loaded.
+    @property
+    def delta_path(self) -> Path | None:
+        """The sidecar path :meth:`maybe_reload` watches (``<path>.delta``)."""
+        if self._path is None:
+            return None
+        from repro.serving.delta import delta_path_for
 
-        Cheap enough to call before every batch (one ``stat``); returns
-        True when a swap happened.  Used by ``repro serve --watch`` and the
-        daemon's background watcher thread.  The stamp is re-checked under
-        the reload lock, so concurrent callers straddling one republish
-        perform exactly one swap — the losers observe the fresh state and
-        return False instead of cold-loading the file a second time.
+        return delta_path_for(self._path)
+
+    def _delta_stamp(self) -> tuple[int, int, int] | None:
+        """Stat stamp of the delta sidecar, or None when it is missing."""
+        sidecar = self.delta_path
+        if sidecar is None:
+            return None
+        try:
+            stat = sidecar.stat()
+        except FileNotFoundError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+
+    def _apply_pending_delta_locked(self) -> bool:
+        """Apply the sidecar to the current state if it is new and chains.
+
+        Must run under ``_reload_lock``.  A sidecar that fails to load or
+        does not chain onto the current artifact is remembered by stamp
+        (``deltas_skipped``) so the poll path does not re-read it every
+        tick; serving continues on the artifact already loaded.
+        """
+        from repro.serving.delta import DictionaryDelta
+        from repro.storage.artifact import ArtifactError
+
+        stamp = self._delta_stamp()
+        state = self._state
+        if stamp is None or state.delta_stamp == stamp:
+            return False
+        try:
+            delta = DictionaryDelta.load(self.delta_path, verify=self.verify)
+            artifact = state.artifact.apply_delta(delta)
+        except FileNotFoundError:
+            # Unlinked between the stat and the read (a concurrent full
+            # publish removes its stale sidecar): nothing to apply, and
+            # nothing to remember — the next poll sees no sidecar at all.
+            return False
+        except ArtifactError:
+            self._state = replace(state, delta_stamp=stamp)
+            with self._lock:
+                self._deltas_skipped += 1
+            return False
+        new_state = replace(
+            self._build_state(artifact, stamp=state.source_stamp), delta_stamp=stamp
+        )
+        self._state = new_state
+        with self._lock:
+            self._deltas_applied += 1
+        return True
+
+    def maybe_reload(self) -> bool:
+        """Pick up a republished artifact or delta sidecar, if any.
+
+        Cheap enough to call before every batch (two ``stat`` calls);
+        returns True when a swap happened.  Used by ``repro serve --watch``
+        and the daemon's background watcher thread.  Preference order: a
+        new **delta sidecar** that chains onto the current state is applied
+        in memory (no full cold load); a changed **full artifact file** is
+        reloaded from disk, after which a pending sidecar is re-evaluated
+        against the fresh base (the restart-with-journal case).  Stamps are
+        re-checked under the reload lock, so concurrent callers straddling
+        one republish perform exactly one swap — the losers observe the
+        fresh state and return False instead of loading a second time.
         """
         if self._path is None:
             return False
-        stamp = self._current_stamp()
-        if stamp is None or self._state.source_stamp == stamp:
+        state = self._state
+        full_stamp = self._current_stamp()
+        delta_stamp = self._delta_stamp()
+        full_changed = full_stamp is not None and state.source_stamp != full_stamp
+        delta_changed = delta_stamp is not None and state.delta_stamp != delta_stamp
+        if not full_changed and not delta_changed:
             return False
         with self._reload_lock:
-            if self._state.source_stamp == stamp:
-                return False
-            self._reload_locked()
-        return True
+            swapped = False
+            full_stamp = self._current_stamp()
+            if full_stamp is not None and self._state.source_stamp != full_stamp:
+                self._reload_locked()
+                swapped = True
+            swapped = self._apply_pending_delta_locked() or swapped
+        return swapped
 
     # ------------------------------------------------------------------ #
     # Matching
@@ -315,4 +401,6 @@ class MatchService:
                 cache_hits=self._cache_hits,
                 cache_misses=self._queries - self._cache_hits,
                 reloads=self._reloads,
+                deltas_applied=self._deltas_applied,
+                deltas_skipped=self._deltas_skipped,
             )

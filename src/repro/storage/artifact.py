@@ -3,7 +3,9 @@
 The serving layer publishes compiled dictionaries as *artifacts*: one
 immutable file that a server can cold-load with a single read.  This module
 is the storage-level codec, deliberately ignorant of what the blocks mean
-(the dictionary layout lives in :mod:`repro.serving.artifact`); it handles
+(the dictionary layouts live in :mod:`repro.serving.artifact` and
+:mod:`repro.serving.delta`; the normative byte-level specification of the
+container *and* every layout is ``docs/ARTIFACT_FORMAT.md``).  It handles
 
 * the on-disk framing — magic, container format version, a JSON manifest,
   then the raw blocks back to back;
@@ -16,14 +18,6 @@ is the storage-level codec, deliberately ignorant of what the blocks mean
   destination directory and ``os.replace``-d into place, so a watcher (the
   ``serve --watch`` loop, a :class:`~repro.serving.service.MatchService`
   reload) never observes a half-written file.
-
-Layout::
-
-    8 bytes   magic  b"REPROART"
-    4 bytes   container format version (little-endian u32)
-    4 bytes   manifest length in bytes (little-endian u32)
-    N bytes   manifest JSON (UTF-8)
-    ...       blocks, at the offsets recorded in the manifest
 """
 
 from __future__ import annotations

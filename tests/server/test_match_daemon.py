@@ -289,6 +289,44 @@ class TestHotSwap:
         finally:
             daemon.stop()
 
+    def test_watcher_applies_delta_sidecar(self, dictionary, click_log, tmp_path):
+        """An incremental publish (delta sidecar) hot-swaps under traffic."""
+        from repro.serving.delta import delta_path_for, diff_delta
+
+        path = tmp_path / "delta-swap.synart"
+        compile_dictionary(dictionary, path, version="gen-1", click_log=click_log)
+        daemon = MatchDaemon(path, port=0, watch_interval=0.05).start()
+        try:
+            with ServerClient(daemon.host, daemon.port) as client:
+                client.wait_until_ready()
+                assert client.match("journal synonym")["matched"] is False
+
+                diff_delta(
+                    SynonymArtifact.load(path),
+                    SynonymDictionary(
+                        list(ENTRIES)
+                        + [DictionaryEntry("journal synonym", "m3", "mined", 9.0)]
+                    ),
+                    delta_path_for(path),
+                    version="gen-2",
+                    click_log=click_log,
+                )
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if client.healthz()["artifact_version"] == "gen-2":
+                        break
+                    time.sleep(0.02)
+                stats = client.stats()
+                assert stats["artifact"]["version"] == "gen-2"
+                assert stats["service"]["deltas_applied"] == 1
+                assert stats["service"]["reloads"] == 0  # no full cold load
+                assert client.match("journal synonym")["entities"] == ["m3"]
+                # The applied priors serve /resolve like a full compile's.
+                resolved = client.resolve("journal synonym")
+                assert resolved["ranked"][0]["entity_id"] == "m3"
+        finally:
+            daemon.stop()
+
     def test_reload_without_path_conflicts_409(self, artifact_path):
         daemon = MatchDaemon(SynonymArtifact.load(artifact_path), port=0).start()
         try:

@@ -1,0 +1,487 @@
+"""Tests for the delta artifact format: publish, merge, chain-apply.
+
+The acceptance pins of the incremental-publish pipeline live here:
+
+* **chain-apply equivalence** — ``gen-0`` plus N applied deltas must be
+  *content-hash-identical* to a full compile at ``gen-N``, so a server
+  that only ever saw deltas serves exactly what a freshly compiled
+  artifact would serve;
+* **no stale postings** — entries removed by a refresh must disappear
+  from the applied artifact's exact and token indexes (a stale posting is
+  silent corruption: the matcher would keep resolving a synonym the miner
+  retracted);
+* **refused mismatches** — a delta applied to the wrong base, a corrupted
+  sidecar, or a divergent merge result must raise, never serve.
+"""
+
+import pytest
+
+from repro.clicklog.log import ClickLog, SearchLog
+from repro.clicklog.records import ClickRecord
+from repro.core.config import MinerConfig
+from repro.core.incremental import IncrementalSynonymMiner
+from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
+from repro.serving.artifact import (
+    SynonymArtifact,
+    compile_dictionary,
+    dedupe_entries,
+    state_hash,
+)
+from repro.serving.delta import (
+    DELTA_KIND,
+    DictionaryDelta,
+    apply_delta,
+    delta_path_for,
+    diff_delta,
+    write_delta,
+)
+from repro.simulation.catalog import Entity, EntityCatalog
+from repro.storage.artifact import ArtifactError, read_artifact, write_artifact
+
+BASE_ENTRIES = [
+    DictionaryEntry("alpha product", "e1", "canonical"),
+    DictionaryEntry("alfa", "e1", "mined", 10.0),
+    DictionaryEntry("beta gadget", "e2", "canonical"),
+    DictionaryEntry("beta", "e2", "mined", 5.0),
+]
+
+BASE_CLICKS = [("alfa", "https://a.example", 10), ("beta", "https://b.example", 5)]
+
+
+@pytest.fixture()
+def base_path(tmp_path):
+    path = tmp_path / "dict.synart"
+    compile_dictionary(
+        SynonymDictionary(BASE_ENTRIES),
+        path,
+        version="gen-1",
+        click_log=ClickLog.from_tuples(BASE_CLICKS),
+    )
+    return path
+
+
+@pytest.fixture()
+def base(base_path):
+    return SynonymArtifact.load(base_path)
+
+
+def _new_dictionary():
+    """The base with e1 shrunk (alfa retracted, alef added) and e3 new."""
+    return SynonymDictionary(
+        [
+            DictionaryEntry("alpha product", "e1", "canonical"),
+            DictionaryEntry("alef", "e1", "mined", 3.0),
+            DictionaryEntry("beta gadget", "e2", "canonical"),
+            DictionaryEntry("beta", "e2", "mined", 5.0),
+            DictionaryEntry("gamma widget", "e3", "canonical"),
+        ]
+    )
+
+
+def _new_click_log():
+    return ClickLog.from_tuples(
+        BASE_CLICKS + [("alef", "https://a.example", 3), ("beta", "https://c.example", 2)]
+    )
+
+
+class TestDiffAndRoundTrip:
+    def test_delta_fields_survive_round_trip(self, base, tmp_path):
+        sidecar = tmp_path / "d.delta"
+        manifest = diff_delta(
+            base, _new_dictionary(), sidecar, version="gen-2",
+            click_log=_new_click_log(),
+        )
+        assert manifest.kind == DELTA_KIND
+        delta = DictionaryDelta.load(sidecar)
+        assert delta.version == "gen-2"
+        assert delta.base_version == "gen-1"
+        assert delta.base_state_hash == base.state_hash
+        assert delta.base_content_hash == base.manifest.content_hash
+        changed = dict(delta.changed)
+        # e1 changed (alfa -> alef), e3 appeared; e2's entries are
+        # untouched but its prior moved, so it rides in prior_updates only.
+        assert set(changed) == {"e1", "e3"}
+        assert [t[0] for t in changed["e1"]] == ["alpha product", "alef"]
+        assert delta.removed == []
+        assert delta.prior_updates == {"e1": 3.0, "e2": 7.0, "e3": 0.0}
+
+    def test_removed_entity_recorded(self, base, tmp_path):
+        only_e1 = SynonymDictionary(BASE_ENTRIES[:2])
+        sidecar = tmp_path / "d.delta"
+        diff_delta(
+            base, only_e1, sidecar, version="gen-2",
+            click_log=ClickLog.from_tuples(BASE_CLICKS),
+        )
+        delta = DictionaryDelta.load(sidecar)
+        assert delta.removed == ["e2"]
+        assert delta.changed == []
+        applied = apply_delta(base, delta)
+        assert "beta" not in applied
+        assert applied.priors() == {"e1": 10.0}
+
+    def test_identical_state_yields_empty_delta(self, base, tmp_path):
+        sidecar = tmp_path / "d.delta"
+        manifest = diff_delta(
+            base, SynonymDictionary(BASE_ENTRIES), sidecar, version="gen-2",
+            click_log=ClickLog.from_tuples(BASE_CLICKS),
+        )
+        assert manifest.counts["changed_entities"] == 0
+        assert manifest.counts["removed_entities"] == 0
+        applied = apply_delta(base, DictionaryDelta.load(sidecar))
+        assert applied.manifest.content_hash == base.manifest.content_hash
+
+    def test_priors_source_must_match_base(self, base, tmp_path):
+        with pytest.raises(ArtifactError, match="priors"):
+            diff_delta(base, _new_dictionary(), tmp_path / "d.delta", version="x")
+
+    def test_base_without_state_hash_refused(self, base_path, tmp_path):
+        # Rewrite the base under a pre-delta manifest (no state_hash), as
+        # a PR 2/3 compiler would have produced it.
+        manifest, blocks = read_artifact(base_path)
+        legacy_extra = {
+            key: value for key, value in manifest.extra.items() if key != "state_hash"
+        }
+        legacy = tmp_path / "legacy.synart"
+        write_artifact(
+            legacy,
+            {name: bytes(block) for name, block in blocks.items()},
+            kind=manifest.kind,
+            version=manifest.version,
+            counts=manifest.counts,
+            extra=legacy_extra,
+        )
+        old = SynonymArtifact.load(legacy)
+        assert old.state_hash == ""
+        with pytest.raises(ArtifactError, match="predates delta support"):
+            diff_delta(
+                old, _new_dictionary(), tmp_path / "d.delta", version="x",
+                click_log=_new_click_log(),
+            )
+
+
+class TestApply:
+    @pytest.fixture()
+    def delta(self, base, tmp_path):
+        sidecar = tmp_path / "d.delta"
+        diff_delta(
+            base, _new_dictionary(), sidecar, version="gen-2",
+            click_log=_new_click_log(),
+        )
+        return DictionaryDelta.load(sidecar)
+
+    def test_applied_equals_direct_compile(self, base, delta, tmp_path):
+        applied = apply_delta(base, delta)
+        reference = compile_dictionary(
+            _new_dictionary(), tmp_path / "ref.synart", version="gen-2",
+            click_log=_new_click_log(),
+        )
+        assert applied.manifest.content_hash == reference.content_hash
+        assert applied.manifest.extra["state_hash"] == reference.extra["state_hash"]
+        assert applied.manifest.version == "gen-2"
+
+    def test_stale_postings_dropped(self, base, delta):
+        """The retracted synonym leaves every index, not just the entries."""
+        assert base.entities_for("alfa") == {"e1"}
+        assert "alfa" in base.strings_containing_token("alfa")
+        applied = apply_delta(base, delta)
+        assert applied.lookup("alfa") == []
+        assert "alfa" not in applied
+        assert applied.strings_containing_token("alfa") == set()
+        assert "alfa" not in applied.strings_for_entity("e1")
+        assert applied.entities_for("alef") == {"e1"}
+
+    def test_apply_writes_full_artifact_file(self, base, delta, tmp_path):
+        output = tmp_path / "applied.synart"
+        applied = apply_delta(base, delta, output_path=output)
+        loaded = SynonymArtifact.load(output)
+        assert loaded.manifest.content_hash == applied.manifest.content_hash
+        assert list(loaded) == list(applied)
+        assert loaded.priors() == applied.priors()
+
+    def test_wrong_base_refused(self, delta, tmp_path):
+        other = tmp_path / "other.synart"
+        compile_dictionary(
+            SynonymDictionary([DictionaryEntry("unrelated", "e9")]),
+            other,
+            version="gen-1",
+            click_log=ClickLog(),
+        )
+        with pytest.raises(ArtifactError, match="base mismatch"):
+            apply_delta(SynonymArtifact.load(other), delta)
+
+    def test_applying_twice_refused(self, base, delta):
+        applied = apply_delta(base, delta)
+        with pytest.raises(ArtifactError, match="base mismatch"):
+            apply_delta(applied, delta)
+
+    def test_corrupted_delta_refused(self, base, tmp_path):
+        sidecar = tmp_path / "d.delta"
+        diff_delta(
+            base, _new_dictionary(), sidecar, version="gen-2",
+            click_log=_new_click_log(),
+        )
+        data = bytearray(sidecar.read_bytes())
+        data[-2] ^= 0x7F
+        sidecar.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="hash"):
+            DictionaryDelta.load(sidecar)
+
+    def test_artifact_apply_delta_method(self, base, delta):
+        assert base.apply_delta(delta).entities_for("gamma widget") == {"e3"}
+
+
+class TestWriteDeltaValidation:
+    def test_changed_and_removed_must_be_disjoint(self, tmp_path):
+        with pytest.raises(ValueError, match="both changed and removed"):
+            write_delta(
+                tmp_path / "d.delta",
+                version="v", base_version="b", base_state_hash="s",
+                target_state_hash="t",
+                changed=[("e1", [("text", "e1", "mined", 1.0)])],
+                removed=["e1"],
+                prior_updates=None,
+            )
+
+    def test_base_state_hash_required(self, tmp_path):
+        with pytest.raises(ValueError, match="base_state_hash"):
+            write_delta(
+                tmp_path / "d.delta",
+                version="v", base_version="b", base_state_hash="",
+                target_state_hash="t", changed=[], removed=[], prior_updates=None,
+            )
+
+    def test_full_loader_refuses_delta_kind(self, base, tmp_path):
+        sidecar = tmp_path / "d.delta"
+        diff_delta(
+            base, _new_dictionary(), sidecar, version="gen-2",
+            click_log=_new_click_log(),
+        )
+        with pytest.raises(ArtifactError, match="kind"):
+            SynonymArtifact.load(sidecar)
+
+
+def _single_entity_miner():
+    """One tracked entity whose only synonym can be retracted by traffic.
+
+    ``alfa`` clicks the entity's sole surrogate 10 times (ICR 1.0); later
+    off-surrogate clicks dilute its ICR below the threshold, so a refresh
+    drops it — the shape of the stale-postings regression.
+    """
+    search = SearchLog.from_tuples([("alpha product", "https://e.example/alpha", 1)])
+    clicks = ClickLog.from_tuples([("alfa", "https://e.example/alpha", 10)])
+    config = MinerConfig(surrogate_k=5, ipc_threshold=1, icr_threshold=0.5)
+    miner = IncrementalSynonymMiner(search_log=search, click_log=clicks, config=config)
+    catalog = EntityCatalog(
+        "test", [Entity(entity_id="e-alpha", canonical_name="alpha product", domain="test")]
+    )
+    return miner, catalog
+
+
+class TestIncrementalDeltaPublish:
+    def test_delta_requires_published_base(self, tmp_path):
+        miner, catalog = _single_entity_miner()
+        miner.track(["alpha product"])
+        miner.refresh()
+        with pytest.raises(ValueError, match="publish a full artifact"):
+            miner.publish(catalog, tmp_path / "dict.synart", delta=True)
+
+    def test_publish_settings_must_match_base(self, tmp_path):
+        miner, catalog = _single_entity_miner()
+        miner.track(["alpha product"])
+        miner.refresh()
+        path = tmp_path / "dict.synart"
+        miner.publish(catalog, path)
+        with pytest.raises(ValueError, match="include_canonical"):
+            miner.publish(catalog, path, delta=True, include_canonical=False)
+        with pytest.raises(ValueError, match="include_priors"):
+            miner.publish(catalog, path, delta=True, include_priors=False)
+
+    def test_refresh_retraction_drops_postings_full_and_delta(self, tmp_path):
+        """A synonym the miner retracts vanishes from both publish paths."""
+        miner, catalog = _single_entity_miner()
+        miner.track(["alpha product"])
+        miner.refresh()
+        path = tmp_path / "dict.synart"
+        miner.publish(catalog, path)
+        base = SynonymArtifact.load(path)
+        assert base.entities_for("alfa") == {"e-alpha"}
+
+        # Dilute alfa's ICR below the threshold: the refresh retracts it.
+        miner.ingest_clicks([ClickRecord("alfa", "https://other.example", 90)])
+        assert miner.refresh() == ["alpha product"]
+        assert miner.result["alpha product"].synonyms == []
+
+        # Full republish drops it...
+        full_path = tmp_path / "full.synart"
+        dictionary = SynonymDictionary.from_mining_result(miner.result, catalog)
+        assert "alfa" not in dictionary
+
+        # ...and so does the delta applied onto the old base.
+        manifest = miner.publish(catalog, path, delta=True)
+        applied = apply_delta(base, DictionaryDelta.load(delta_path_for(path)))
+        assert applied.lookup("alfa") == []
+        assert applied.strings_containing_token("alfa") == set()
+        compile_dictionary(
+            dictionary, full_path, version=manifest.version,
+            config_fingerprint=miner.config.fingerprint(), click_log=miner.click_log,
+        )
+        assert applied.manifest.content_hash == (
+            SynonymArtifact.load(full_path).manifest.content_hash
+        )
+
+    def test_full_publish_removes_stale_sidecar(self, tmp_path):
+        miner, catalog = _single_entity_miner()
+        miner.track(["alpha product"])
+        miner.refresh()
+        path = tmp_path / "dict.synart"
+        miner.publish(catalog, path)
+        miner.ingest_clicks([ClickRecord("alfa", "https://e.example/alpha", 1)])
+        miner.refresh()
+        miner.publish(catalog, path, delta=True)
+        assert delta_path_for(path).exists()
+        miner.publish(catalog, path)
+        assert not delta_path_for(path).exists()
+
+    def test_catalog_delisting_removes_entity_via_delta(self, tmp_path):
+        """A delisted entity leaves the delta even with no new traffic."""
+        search = SearchLog.from_tuples(
+            [
+                ("alpha product", "https://e.example/alpha", 1),
+                ("beta gadget", "https://e.example/beta", 1),
+            ]
+        )
+        clicks = ClickLog.from_tuples(
+            [
+                ("alfa", "https://e.example/alpha", 10),
+                ("betta", "https://e.example/beta", 8),
+            ]
+        )
+        config = MinerConfig(surrogate_k=5, ipc_threshold=1, icr_threshold=0.5)
+        miner = IncrementalSynonymMiner(
+            search_log=search, click_log=clicks, config=config
+        )
+        alpha = Entity(entity_id="e-alpha", canonical_name="alpha product", domain="t")
+        beta = Entity(entity_id="e-beta", canonical_name="beta gadget", domain="t")
+        catalog = EntityCatalog("t", [alpha, beta])
+        miner.track(["alpha product", "beta gadget"])
+        miner.refresh()
+        path = tmp_path / "dict.synart"
+        miner.publish(catalog, path)
+        base = SynonymArtifact.load(path)
+        assert base.entities_for("betta") == {"e-beta"}
+
+        # Delist beta: nothing is dirty, yet the next delta must drop it
+        # exactly as a full compile against the smaller catalog would.
+        smaller = EntityCatalog("t", [alpha])
+        manifest = miner.publish(smaller, path, delta=True)
+        delta = DictionaryDelta.load(delta_path_for(path))
+        assert delta.removed == ["e-beta"]
+        assert delta.changed == []
+        applied = apply_delta(base, delta)
+        assert applied.lookup("betta") == []
+        assert applied.strings_containing_token("betta") == set()
+        reference = compile_dictionary(
+            SynonymDictionary.from_mining_result(miner.result, smaller),
+            tmp_path / "ref.synart",
+            version=manifest.version,
+            config_fingerprint=miner.config.fingerprint(),
+            click_log=miner.click_log,
+        )
+        assert applied.manifest.content_hash == reference.content_hash
+
+    def test_prior_only_delta_for_untouched_entity(self, tmp_path):
+        """Clicks on an unchanged entity's string update its prior only."""
+        miner, catalog = _single_entity_miner()
+        miner.track(["alpha product"])
+        miner.refresh()
+        path = tmp_path / "dict.synart"
+        miner.publish(catalog, path)
+        base = SynonymArtifact.load(path)
+        assert base.priors() == {"e-alpha": 10.0}
+
+        # "alpha product" is a dictionary string of e-alpha but not one of
+        # its candidate queries, and the clicked URL is no surrogate: the
+        # entity is never marked dirty, yet its prior moves.
+        miner.ingest_clicks([ClickRecord("alpha product", "https://x.example", 4)])
+        assert miner.refresh() == []
+        miner.publish(catalog, path, delta=True)
+        delta = DictionaryDelta.load(delta_path_for(path))
+        assert delta.changed == []
+        assert delta.prior_updates == {"e-alpha": 14.0}
+        applied = apply_delta(base, delta)
+        assert applied.priors() == {"e-alpha": 14.0}
+        assert list(applied) == list(base)
+
+
+class _ToyChain:
+    """An incremental miner over the toy world plus a full-compile oracle."""
+
+    def __init__(self, world):
+        self.world = world
+        self.miner = IncrementalSynonymMiner(
+            search_log=SearchLog(world.search_log.iter_records()),
+            click_log=ClickLog(world.click_log.iter_records()),
+            config=MinerConfig.paper_default(),
+        )
+        self.values = world.canonical_queries()
+        self.miner.track(self.values)
+        self.miner.refresh()
+
+    def full_compile(self, path, version):
+        """What a from-scratch publish of the current state would write."""
+        dictionary = SynonymDictionary.from_mining_result(
+            self.miner.result, self.world.catalog
+        )
+        return compile_dictionary(
+            dictionary, path, version=version,
+            config_fingerprint=self.miner.config.fingerprint(),
+            click_log=self.miner.click_log,
+        )
+
+    def perturb(self, index, clicks=25):
+        value = self.values[index]
+        url = self.miner.search_log.top_urls(value, k=1)[0]
+        self.miner.ingest_clicks([ClickRecord(value, url, clicks)])
+        return self.miner.refresh()
+
+
+class TestChainApplyEquivalence:
+    """gen-0 + N applied deltas ≡ full compile at gen-N, content hash equal."""
+
+    def test_two_delta_chain_matches_full_compiles(self, toy_world, tmp_path):
+        chain = _ToyChain(toy_world)
+        path = tmp_path / "dict.synart"
+        chain.miner.publish(toy_world.catalog, path)
+        artifact = SynonymArtifact.load(path)
+
+        for round_index in (0, 1):
+            assert chain.perturb(round_index)  # at least one entity re-mined
+            manifest = chain.miner.publish(toy_world.catalog, path, delta=True)
+            delta = DictionaryDelta.load(delta_path_for(path))
+            artifact = apply_delta(artifact, delta)
+            reference = chain.full_compile(
+                tmp_path / f"ref-{round_index}.synart", manifest.version
+            )
+            assert artifact.manifest.content_hash == reference.content_hash, (
+                f"chain diverged from full compile at round {round_index}"
+            )
+            assert artifact.manifest.version == reference.version
+
+    def test_delta_skips_chain_link_refused(self, toy_world, tmp_path):
+        chain = _ToyChain(toy_world)
+        path = tmp_path / "dict.synart"
+        chain.miner.publish(toy_world.catalog, path)
+        gen0 = SynonymArtifact.load(path)
+
+        chain.perturb(0)
+        chain.miner.publish(toy_world.catalog, path, delta=True)
+        delta1 = DictionaryDelta.load(delta_path_for(path))
+        chain.perturb(1)
+        chain.miner.publish(toy_world.catalog, path, delta=True)
+        delta2 = DictionaryDelta.load(delta_path_for(path))
+
+        # Applying out of order must fail; in order must succeed.
+        with pytest.raises(ArtifactError, match="base mismatch"):
+            apply_delta(gen0, delta2)
+        chained = apply_delta(apply_delta(gen0, delta1), delta2)
+        assert chained.manifest.version == delta2.version

@@ -5,6 +5,7 @@ import pytest
 from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
 from repro.matching.matcher import MatchOutcome, QueryMatcher
 from repro.serving.artifact import SynonymArtifact, compile_dictionary
+from repro.serving.delta import delta_path_for, diff_delta
 from repro.serving.service import MatchService
 
 
@@ -129,6 +130,88 @@ class TestHotSwap:
         with pytest.raises(ValueError):
             service.reload()
         assert service.reload(artifact_path).version == "gen-1"
+
+
+class TestDeltaHotSwap:
+    """maybe_reload prefers applying a delta sidecar over a full cold load."""
+
+    @staticmethod
+    def _publish_delta(artifact_path, new_dictionary, version):
+        diff_delta(
+            SynonymArtifact.load(artifact_path),
+            new_dictionary,
+            delta_path_for(artifact_path),
+            version=version,
+        )
+
+    @staticmethod
+    def _grown_dictionary(dictionary):
+        return SynonymDictionary(
+            list(dictionary) + [DictionaryEntry("delta synonym", "m9", "mined", 7.0)]
+        )
+
+    def test_maybe_reload_applies_sidecar(self, service, artifact_path, dictionary):
+        assert service.match("delta synonym").matched is False
+        self._publish_delta(artifact_path, self._grown_dictionary(dictionary), "gen-2")
+        assert service.maybe_reload() is True
+        assert service.manifest.version == "gen-2"
+        assert service.match("delta synonym").entity_ids == {"m9"}
+        stats = service.stats
+        assert stats.deltas_applied == 1
+        assert stats.reloads == 0  # no full cold load happened
+        assert service.maybe_reload() is False  # sidecar unchanged
+
+    def test_construction_folds_in_pending_sidecar(self, artifact_path, dictionary):
+        self._publish_delta(artifact_path, self._grown_dictionary(dictionary), "gen-2")
+        service = MatchService(artifact_path)
+        assert service.manifest.version == "gen-2"
+        assert service.stats.deltas_applied == 1
+        assert service.match("delta synonym").matched is True
+
+    def test_delta_clears_result_cache(self, service, artifact_path, dictionary):
+        assert service.match("delta synonym").matched is False  # cached NO_MATCH
+        self._publish_delta(artifact_path, self._grown_dictionary(dictionary), "gen-2")
+        service.maybe_reload()
+        assert service.match("delta synonym").matched is True
+
+    def test_mismatched_sidecar_skipped_and_not_retried(
+        self, service, artifact_path, dictionary
+    ):
+        # A sidecar chained on gen-2 while the service still serves gen-1:
+        # it must be skipped (once), and the service keeps serving.
+        grown = self._grown_dictionary(dictionary)
+        other_base = artifact_path.parent / "other.synart"
+        compile_dictionary(grown, other_base, version="gen-2")
+        diff_delta(
+            SynonymArtifact.load(other_base),
+            SynonymDictionary(list(grown) + [DictionaryEntry("even newer", "m10")]),
+            delta_path_for(artifact_path),
+            version="gen-3",
+        )
+        assert service.maybe_reload() is False
+        assert service.manifest.version == "gen-1"
+        assert service.stats.deltas_skipped == 1
+        assert service.match("indy 4").matched is True
+        # The stamp was remembered: the next poll does not re-read the file.
+        assert service.maybe_reload() is False
+        assert service.stats.deltas_skipped == 1
+
+    def test_full_republish_beats_stale_sidecar(self, service, artifact_path, dictionary):
+        self._publish_delta(artifact_path, self._grown_dictionary(dictionary), "gen-2")
+        assert service.maybe_reload() is True
+        # Publisher falls back to a full publish (different content) while
+        # the old sidecar is still lying around.
+        compile_dictionary(
+            SynonymDictionary(
+                list(dictionary) + [DictionaryEntry("full republish", "m11")]
+            ),
+            artifact_path,
+            version="gen-3",
+        )
+        assert service.maybe_reload() is True
+        assert service.manifest.version == "gen-3"
+        assert service.match("full republish").matched is True
+        assert service.stats.reloads == 1
 
 
 class TestStats:
