@@ -29,8 +29,11 @@ without writing any Python:
   cleanly with the summary flushed;
 * ``server``      — run the long-lived HTTP/JSON match daemon
   (:mod:`repro.server`) over a compiled artifact: ``/match``,
-  ``/resolve``, ``/healthz``, ``/stats``, ``/admin/reload``, with a
-  background watcher hot-swapping republished artifacts;
+  ``/resolve``, ``/healthz``, ``/stats`` (with per-endpoint latency
+  histograms), ``/admin/reload``, with a background watcher hot-swapping
+  republished artifacts; ``--procs N`` runs N worker processes sharing
+  one port via ``SO_REUSEPORT``, ``--access-log``/``--access-log-sample``
+  enable a sampled JSONL access log;
 * ``experiments`` — regenerate Figure 2, Figure 3 and Table I as text.
 
 Invoke as ``python -m repro <subcommand> ...``.
@@ -205,6 +208,22 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument(
         "--max-batch", type=_positive_int, default=1024,
         help="largest accepted 'queries' batch per request (default 1024)",
+    )
+    server.add_argument(
+        "--procs", type=_positive_int, default=1,
+        help="worker processes sharing the port via SO_REUSEPORT "
+             "(default 1: a single in-process daemon)",
+    )
+    server.add_argument(
+        "--access-log", type=Path, default=None, metavar="PATH",
+        help="append sampled access-log JSONL lines to PATH "
+             "(default: stderr when sampling is enabled)",
+    )
+    server.add_argument(
+        "--access-log-sample", type=float, default=None, metavar="R",
+        help="fraction of requests written to the access log, 0..1 "
+             "(default: 0 — access logging off — unless --access-log is "
+             "given, which implies 1.0)",
     )
 
     experiments = subparsers.add_parser(
@@ -524,6 +543,56 @@ def _cmd_server(args: argparse.Namespace) -> int:
         raise SystemExit("repro server: error: --cache-size must be >= 0")
     if args.watch_interval < 0:
         raise SystemExit("repro server: error: --watch-interval must be >= 0")
+    # --access-log without an explicit rate means "log everything there":
+    # a silently-empty log file would be worse than either behavior.
+    if args.access_log_sample is None:
+        access_log_sample = 1.0 if args.access_log is not None else 0.0
+    else:
+        access_log_sample = args.access_log_sample
+    if not 0.0 <= access_log_sample <= 1.0:
+        raise SystemExit("repro server: error: --access-log-sample must be in [0, 1]")
+    watch_note = (
+        f"watching {args.artifact} every {args.watch_interval:g}s"
+        if args.watch_interval > 0
+        else "watcher disabled"
+    )
+
+    if args.procs > 1:
+        from repro.server.supervisor import ServerSupervisor
+
+        try:
+            supervisor = ServerSupervisor(
+                args.artifact,
+                procs=args.procs,
+                host=args.host,
+                port=args.port,
+                cache_size=args.cache_size,
+                enable_fuzzy=not args.no_fuzzy,
+                watch_interval=args.watch_interval,
+                max_batch=args.max_batch,
+                access_log_path=args.access_log,
+                access_log_sample=access_log_sample,
+            )
+            # Every worker is listening before the address line goes out —
+            # the same bind-before-banner promise the single-process path
+            # makes, so a wrapper may connect the moment it reads it.
+            supervisor.start()
+        except RuntimeError as exc:  # no SO_REUSEPORT, or startup failure
+            raise SystemExit(f"repro server: error: {exc}") from exc
+        # Same machine-readable address line as the single-process path:
+        # with --port 0 it is how a wrapper learns the bound port.
+        print(
+            f"repro server listening on {supervisor.address} "
+            f"[{args.procs} procs via SO_REUSEPORT, {watch_note}]",
+            flush=True,
+        )
+        return supervisor.run_forever()
+
+    access_log = None
+    if access_log_sample > 0:
+        from repro.server.metrics import AccessLog
+
+        access_log = AccessLog(access_log_sample, path=args.access_log)
     daemon = MatchDaemon(
         args.artifact,
         host=args.host,
@@ -532,11 +601,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
         enable_fuzzy=not args.no_fuzzy,
         watch_interval=args.watch_interval,
         max_batch=args.max_batch,
-    )
-    watch_note = (
-        f"watching {args.artifact} every {args.watch_interval:g}s"
-        if args.watch_interval > 0
-        else "watcher disabled"
+        access_log=access_log,
     )
     # The address line is machine-readable on purpose: with --port 0 it is
     # the only way a wrapper (tests, CI) learns the bound port.

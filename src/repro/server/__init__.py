@@ -14,22 +14,46 @@ where live Web queries arrive over the wire:
   cold-loaded, a delta sidecar (layout 3, see ``docs/ARTIFACT_FORMAT.md``)
   is applied in memory and counted in ``/stats`` — and SIGINT/SIGTERM
   shut the daemon down cleanly (stats flushed, socket closed).
+* :mod:`repro.server.metrics` is the observability layer the daemon
+  records every request into: per-endpoint **latency histograms**
+  (``/stats`` ``"latency"``: count + p50/p90/p99/max over fixed
+  log-spaced buckets) and an optional **sampled JSONL access log**
+  (:class:`~repro.server.metrics.AccessLog`, off by default).
+* :class:`~repro.server.supervisor.ServerSupervisor` is the
+  multi-process front end: ``--procs N`` binds N worker processes to one
+  port via ``SO_REUSEPORT`` and the kernel spreads connections across
+  them; the parent propagates SIGINT/SIGTERM and reaps every worker.
 * :class:`~repro.server.client.ServerClient` is the matching stdlib-only
   client, used by the tests, the benchmark load generator and the CI
   smoke job.
 
-CLI: ``python -m repro server --artifact dict.synart`` runs the daemon.
-Everything here is standard library only — no web framework required.
+CLI: ``python -m repro server --artifact dict.synart`` runs the daemon
+(``--procs N`` for the multi-process front end, ``--access-log`` /
+``--access-log-sample`` for the access log).  Everything here is standard
+library only — no web framework required.
 """
 
 from repro.server.client import ServerClient, ServerError
-from repro.server.daemon import DEFAULT_PORT, MatchDaemon, match_payload, ranked_payload
+from repro.server.daemon import (
+    DEFAULT_PORT,
+    MatchDaemon,
+    match_payload,
+    ranked_payload,
+    reuse_port_supported,
+)
+from repro.server.metrics import AccessLog, LatencyHistogram, MetricsRegistry
+from repro.server.supervisor import ServerSupervisor
 
 __all__ = [
     "DEFAULT_PORT",
+    "AccessLog",
+    "LatencyHistogram",
     "MatchDaemon",
+    "MetricsRegistry",
     "ServerClient",
     "ServerError",
+    "ServerSupervisor",
     "match_payload",
     "ranked_payload",
+    "reuse_port_supported",
 ]

@@ -47,11 +47,20 @@ class ServerClient:
 
     @classmethod
     def from_address(cls, address: str, *, timeout: float = 10.0) -> "ServerClient":
-        """Build a client from a base URL like ``http://127.0.0.1:8765``."""
+        """Build a client from a base URL like ``http://127.0.0.1:8765``.
+
+        The port may be omitted: a URL with a scheme defaults to that
+        scheme's well-known port (80 for http, 443 for https); a bare
+        ``host`` or ``host:port`` without a scheme defaults to the
+        daemon's :data:`DEFAULT_PORT`.
+        """
         url = urlparse(address if "//" in address else f"//{address}")
-        if not url.hostname or not url.port:
-            raise ValueError(f"address must include host and port: {address!r}")
-        return cls(url.hostname, url.port, timeout=timeout)
+        if not url.hostname:
+            raise ValueError(f"address must include a host: {address!r}")
+        port = url.port
+        if port is None:
+            port = {"http": 80, "https": 443}.get(url.scheme, DEFAULT_PORT)
+        return cls(url.hostname, port, timeout=timeout)
 
     # ------------------------------------------------------------------ #
     # Transport

@@ -19,24 +19,41 @@ Architecture — three kinds of thread share one
   SIGINT/SIGTERM mapped to a clean shutdown) or in a background thread
   (:meth:`MatchDaemon.start`, the test/benchmark path).
 
+Observability rides on the same dispatch path: every request is timed into
+a per-endpoint log-spaced latency histogram (``/stats`` ``"latency"``:
+``{count, p50_ms, p90_ms, p99_ms, max_ms}`` per endpoint) and optionally
+sampled into a structured JSONL access log (:mod:`repro.server.metrics`;
+off by default, so the single-core hot path stays access-log-free).
+Payloads that report several artifact fields together are built from one
+:meth:`MatchService.snapshot` — a concurrent hot swap can therefore never
+mix two artifacts' fields in a single ``/stats`` or ``/healthz`` response.
+
 Endpoints (all JSON):
 
 ====================  ======================================================
-``GET  /healthz``     liveness + artifact version + uptime
-``GET  /stats``       service counters, per-endpoint request counts,
-                      watcher state, artifact metadata
+``GET  /healthz``     liveness + artifact version + uptime + worker id
+``GET  /stats``       service counters, per-endpoint request counts and
+                      latency histograms (``latency``), watcher state,
+                      artifact metadata, worker id (``server.worker``)
 ``GET|POST /match``   one query (``?q=`` or ``{"query": ...}``) or a batch
                       (``{"queries": [...]}``) → match payload(s)
 ``GET|POST /resolve`` like ``/match`` plus ``ranked``: the tied entities
                       ordered by the artifact's click priors + context
 ``POST /admin/reload``  force a reload of the artifact file
 ====================  ======================================================
+
+Scale-out: ``reuse_port=True`` binds the listening socket with
+``SO_REUSEPORT`` so N daemon processes can share one port — that is what
+:mod:`repro.server.supervisor` (CLI ``--procs N``) builds on, with
+``worker_id`` telling the processes apart in ``/stats`` and the access log.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import signal
+import socket
 import sys
 import threading
 import time
@@ -47,12 +64,50 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.matching.matcher import EntityMatch
 from repro.matching.resolver import RankedEntity
+from repro.server.metrics import AccessLog, MetricsRegistry
 from repro.serving.artifact import SynonymArtifact
 from repro.serving.service import MatchService
 
-__all__ = ["DEFAULT_PORT", "MatchDaemon", "match_payload", "ranked_payload"]
+__all__ = [
+    "DEFAULT_PORT",
+    "MatchDaemon",
+    "match_payload",
+    "ranked_payload",
+    "reuse_port_supported",
+]
 
 DEFAULT_PORT = 8765
+
+
+def reuse_port_supported() -> bool:
+    """Whether this platform can share one port across processes.
+
+    ``SO_REUSEPORT`` must both exist *and* be settable (some platforms
+    define the constant but refuse it on TCP sockets); the supervisor
+    refuses ``--procs N`` with a clear error when this returns False.
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    except OSError:
+        return False
+    finally:
+        probe.close()
+    return True
+
+
+class _ReusePortHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer whose socket joins an ``SO_REUSEPORT`` group.
+
+    The option must be set *before* ``bind`` — ``allow_reuse_port`` only
+    exists on Python ≥ 3.11, so set it explicitly for 3.10 support.
+    """
+
+    def server_bind(self) -> None:
+        self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
 
 def match_payload(match: EntityMatch) -> dict[str, Any]:
@@ -106,21 +161,38 @@ class _Watcher(threading.Thread):
         super().__init__(name="repro-artifact-watcher", daemon=True)
         self.service = service
         self.interval = interval
-        self.checks = 0
-        self.swaps = 0
-        self.failures = 0
-        self.last_swap_unix: float | None = None
+        # Counters are written by this thread and read by request threads
+        # building /stats; one small lock keeps a reader from seeing a
+        # swap counted without its timestamp (or vice versa).
+        self._counter_lock = threading.Lock()
+        self._checks = 0
+        self._swaps = 0
+        self._failures = 0
+        self._last_swap_unix: float | None = None
         self._stop_event = threading.Event()
 
     def run(self) -> None:
         while not self._stop_event.wait(self.interval):
-            self.checks += 1
+            with self._counter_lock:
+                self._checks += 1
             try:
                 if self.service.maybe_reload():
-                    self.swaps += 1
-                    self.last_swap_unix = time.time()
+                    with self._counter_lock:
+                        self._swaps += 1
+                        self._last_swap_unix = time.time()
             except Exception:
-                self.failures += 1
+                with self._counter_lock:
+                    self._failures += 1
+
+    def counters(self) -> dict[str, Any]:
+        """One consistent read of the poll counters (for ``/stats``)."""
+        with self._counter_lock:
+            return {
+                "checks": self._checks,
+                "swaps": self._swaps,
+                "failures": self._failures,
+                "last_swap_unix": self._last_swap_unix,
+            }
 
     def stop(self) -> None:
         self._stop_event.set()
@@ -157,6 +229,16 @@ class MatchDaemon:
         cannot make a request thread buffer and parse it.
     cache_size / enable_fuzzy / verify:
         Forwarded to :class:`MatchService`.
+    access_log:
+        A configured :class:`~repro.server.metrics.AccessLog`, or None
+        (the default) for no access logging at all.
+    worker_id:
+        Identity of this process in a ``--procs N`` group, surfaced in
+        ``/healthz``/``/stats`` (``server.worker``) and stamped into
+        access-log lines; None for a standalone daemon.
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so sibling processes can listen on the
+        same port (raises :class:`RuntimeError` where unsupported).
     """
 
     def __init__(
@@ -171,6 +253,9 @@ class MatchDaemon:
         watch_interval: float = 2.0,
         max_batch: int = 1024,
         max_body_bytes: int = 8 * 1024 * 1024,
+        access_log: AccessLog | None = None,
+        worker_id: int | None = None,
+        reuse_port: bool = False,
     ) -> None:
         if watch_interval < 0:
             raise ValueError(f"watch_interval must be >= 0, got {watch_interval}")
@@ -178,19 +263,31 @@ class MatchDaemon:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_body_bytes < 1:
             raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        if reuse_port and not reuse_port_supported():
+            raise RuntimeError(
+                "SO_REUSEPORT is not supported on this platform; "
+                "run a single process (no --procs) instead"
+            )
         self.service = MatchService(
             artifact, cache_size=cache_size, enable_fuzzy=enable_fuzzy, verify=verify
         )
         self.watch_interval = watch_interval
         self.max_batch = max_batch
         self.max_body_bytes = max_body_bytes
+        self.access_log = access_log
+        self.worker_id = worker_id
+        self.metrics = MetricsRegistry()
+        # Wall-clock start is display-only; uptime is computed from the
+        # monotonic anchor so an NTP step can never yield negative uptime.
         self.started_unix = time.time()
+        self._started_monotonic = time.monotonic()
         self._requests: dict[str, int] = {}
         self._errors = 0
         self._counter_lock = threading.Lock()
         self._watcher: _Watcher | None = None
         self._serve_thread: threading.Thread | None = None
-        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+        server_cls = _ReusePortHTTPServer if reuse_port else ThreadingHTTPServer
+        self._httpd = server_cls((host, port), _make_handler(self))
         self._httpd.daemon_threads = True
 
     # ------------------------------------------------------------------ #
@@ -250,6 +347,8 @@ class MatchDaemon:
             self._serve_thread.join(timeout=10.0)
             self._serve_thread = None
         self._httpd.server_close()
+        if self.access_log is not None:
+            self.access_log.close()
 
     def run_forever(self, *, handle_signals: bool = True) -> int:
         """Serve in the calling thread until SIGINT/SIGTERM (the CLI path).
@@ -287,14 +386,18 @@ class MatchDaemon:
                 self._watcher = None
             self._httpd.server_close()
             print(self._shutdown_line(reason), file=sys.stderr, flush=True)
+            if self.access_log is not None:
+                self.access_log.close()
         return 0
 
     def _shutdown_line(self, reason: str) -> str:
-        stats = self.service.stats
+        snapshot = self.service.snapshot()
+        stats = snapshot.stats
+        worker = f"worker {self.worker_id}: " if self.worker_id is not None else ""
         return (
-            f"repro server: {reason}; served {stats.queries} queries "
+            f"repro server: {worker}{reason}; served {stats.queries} queries "
             f"(cache hit rate {stats.hit_rate:.1%}), {stats.reloads} reloads, "
-            f"artifact version {self.service.manifest.version}, socket closed"
+            f"artifact version {snapshot.manifest.version}, socket closed"
         )
 
     # ------------------------------------------------------------------ #
@@ -309,16 +412,44 @@ class MatchDaemon:
         with self._counter_lock:
             self._errors += 1
 
+    def _record_request(
+        self, endpoint: str, method: str, path: str, status: int, duration_s: float
+    ) -> None:
+        """Per-request observability: histogram always, access log sampled."""
+        self.metrics.record(endpoint, duration_s)
+        access_log = self.access_log
+        if access_log is not None:
+            access_log.maybe_record(
+                endpoint=endpoint,
+                method=method,
+                path=path,
+                status=status,
+                duration_s=duration_s,
+                pid=os.getpid(),
+            )
+
+    def uptime_s(self) -> float:
+        """Seconds since construction, immune to wall-clock (NTP) steps."""
+        return time.monotonic() - self._started_monotonic
+
     def healthz_payload(self) -> dict[str, Any]:
+        # One snapshot even for a single field: keeps the payload rule —
+        # artifact facts come from exactly one captured state — uniform.
+        snapshot = self.service.snapshot()
         return {
             "status": "ok",
-            "artifact_version": self.service.manifest.version,
-            "uptime_s": time.time() - self.started_unix,
+            "artifact_version": snapshot.manifest.version,
+            "uptime_s": self.uptime_s(),
+            "worker": self.worker_id,
         }
 
     def stats_payload(self) -> dict[str, Any]:
-        stats = self.service.stats
-        manifest = self.service.manifest
+        # All artifact/service fields below come from this one snapshot —
+        # never from separate self.service property reads, which a
+        # concurrent hot swap could interleave into a torn payload.
+        snapshot = self.service.snapshot()
+        stats = snapshot.stats
+        manifest = snapshot.manifest
         with self._counter_lock:
             requests = dict(self._requests)
             errors = self._errors
@@ -326,12 +457,18 @@ class MatchDaemon:
         payload: dict[str, Any] = {
             "server": {
                 "started_unix": self.started_unix,
-                "uptime_s": time.time() - self.started_unix,
+                "uptime_s": self.uptime_s(),
+                "worker": self.worker_id,
                 "requests": requests,
                 "errors": errors,
                 "max_batch": self.max_batch,
                 "max_body_bytes": self.max_body_bytes,
+                "access_log": {
+                    "enabled": self.access_log is not None,
+                    "sample": self.access_log.sample if self.access_log else 0.0,
+                },
             },
+            "latency": self.metrics.snapshot(),
             "service": {
                 "queries": stats.queries,
                 "cache_hits": stats.cache_hits,
@@ -345,23 +482,18 @@ class MatchDaemon:
                 "version": manifest.version,
                 "content_hash": manifest.content_hash,
                 "entries": manifest.counts.get("entries", 0),
-                "has_priors": self.service.artifact.has_priors,
+                "has_priors": snapshot.artifact.has_priors,
                 "path": (
-                    str(self.service.artifact_path)
-                    if self.service.artifact_path is not None
+                    str(snapshot.artifact_path)
+                    if snapshot.artifact_path is not None
                     else None
                 ),
             },
             "watcher": {"enabled": watcher is not None},
         }
         if watcher is not None:
-            payload["watcher"].update(
-                interval_s=watcher.interval,
-                checks=watcher.checks,
-                swaps=watcher.swaps,
-                failures=watcher.failures,
-                last_swap_unix=watcher.last_swap_unix,
-            )
+            payload["watcher"]["interval_s"] = watcher.interval
+            payload["watcher"].update(watcher.counters())
         return payload
 
     # ------------------------------------------------------------------ #
@@ -503,14 +635,24 @@ def _make_handler(daemon: MatchDaemon) -> type[BaseHTTPRequestHandler]:
 
         def _dispatch(self, endpoint: str, handler) -> None:
             daemon._count(endpoint)
+            status = 200
+            started = time.perf_counter()
             try:
                 self._send_json(200, handler())
             except _RequestError as exc:
+                status = exc.status
                 self._send_error_json(exc.status, str(exc))
             except (BrokenPipeError, ConnectionResetError):
+                # The client is gone: nothing was served, so neither the
+                # histogram nor the access log records a response.
                 raise
             except Exception as exc:  # pragma: no cover - defensive
+                status = 500
                 self._send_error_json(500, f"internal error: {exc}")
+            daemon._record_request(
+                endpoint, self.command, self.path, status,
+                time.perf_counter() - started,
+            )
 
         # -------------------------------------------------------------- #
         # Routes

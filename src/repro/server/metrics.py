@@ -1,0 +1,272 @@
+"""Serving-path observability: latency histograms and a sampled access log.
+
+Two concerns the daemon records on every dispatched request, designed so
+the single-core hot path stays cheap:
+
+* :class:`LatencyHistogram` — a streaming histogram over **fixed
+  log-spaced buckets** (about 26% wide, ~10 per decade from 10 µs to
+  60 s).  Recording is one ``bisect`` over a precomputed bound table plus
+  a couple of integer bumps under a lock held for nanoseconds; no sample
+  is ever stored, so memory is constant regardless of traffic.  Quantiles
+  come back as the *upper bound* of the bucket holding the requested rank
+  (capped at the true observed max), i.e. a conservative estimate that is
+  at most one bucket width above the exact value.
+* :class:`AccessLog` — a **sampled** structured access log, one JSON
+  object per line (JSONL) to stderr or a file.  Sampling defaults to off;
+  at rate ``R`` each request independently draws from an injectable RNG
+  (seedable, so tests are deterministic).  Lines are written whole and
+  flushed, so multiple worker processes can append to one file.
+
+:class:`MetricsRegistry` holds one histogram per endpoint and renders the
+``/stats`` ``"latency"`` section:
+``{endpoint: {count, p50_ms, p90_ms, p99_ms, max_ms}}``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import sys
+import threading
+import time
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any, TextIO
+
+__all__ = [
+    "BUCKET_BOUNDS_S",
+    "AccessLog",
+    "LatencyHistogram",
+    "MetricsRegistry",
+]
+
+# ~10 buckets per decade from 10 µs to 60 s: adjacent bounds differ by
+# 10^0.1 ≈ 1.26, so a bucket-upper-bound quantile overestimates the exact
+# sample quantile by at most ~26% — plenty for serving dashboards, and the
+# table is small enough that recording is a single bisect over a tuple.
+_MIN_BOUND_S = 1e-5
+_MAX_BOUND_S = 60.0
+_BUCKETS_PER_DECADE = 10
+
+
+def _build_bounds() -> tuple[float, ...]:
+    decades = math.log10(_MAX_BOUND_S / _MIN_BOUND_S)
+    steps = math.ceil(decades * _BUCKETS_PER_DECADE)
+    return tuple(
+        _MIN_BOUND_S * 10 ** (step / _BUCKETS_PER_DECADE) for step in range(steps + 1)
+    )
+
+
+BUCKET_BOUNDS_S: tuple[float, ...] = _build_bounds()
+
+
+class LatencyHistogram:
+    """Streaming latency histogram over :data:`BUCKET_BOUNDS_S`.
+
+    Thread-safe; the lock guards only the counter bumps (the bucket index
+    is computed outside it), so concurrent request threads contend for
+    nanoseconds per record.
+    """
+
+    __slots__ = ("_lock", "_bucket_counts", "_count", "_max_s")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # One overflow bucket past the last bound catches pathological
+        # durations (> _MAX_BOUND_S); quantiles falling there report the
+        # observed max rather than inventing a bound.
+        self._bucket_counts = [0] * (len(BUCKET_BOUNDS_S) + 1)
+        self._count = 0
+        self._max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one observed duration (in seconds)."""
+        index = bisect_left(BUCKET_BOUNDS_S, seconds)
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._count += 1
+            if seconds > self._max_s:
+                self._max_s = seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def quantile(self, q: float) -> float | None:
+        """The q-quantile in seconds (None while empty).
+
+        Returns the upper bound of the bucket containing the rank-``q``
+        sample, capped at the exact observed maximum — so ``quantile(1.0)``
+        is always the true max, and every quantile is within one bucket
+        width (~26%) above the exact sample statistic.
+        """
+        counts, count, max_s = self._capture()
+        return self._quantile_from(counts, count, max_s, q)
+
+    def summary(self) -> dict[str, Any]:
+        """The ``/stats`` shape: ``{count, p50_ms, p90_ms, p99_ms, max_ms}``."""
+        counts, count, max_s = self._capture()
+
+        def as_ms(seconds: float | None) -> float | None:
+            return None if seconds is None else seconds * 1e3
+
+        return {
+            "count": count,
+            "p50_ms": as_ms(self._quantile_from(counts, count, max_s, 0.50)),
+            "p90_ms": as_ms(self._quantile_from(counts, count, max_s, 0.90)),
+            "p99_ms": as_ms(self._quantile_from(counts, count, max_s, 0.99)),
+            "max_ms": as_ms(max_s if count else None),
+        }
+
+    def _capture(self) -> tuple[list[int], int, float]:
+        with self._lock:
+            return list(self._bucket_counts), self._count, self._max_s
+
+    @staticmethod
+    def _quantile_from(
+        counts: list[int], count: int, max_s: float, q: float
+    ) -> float | None:
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if count == 0:
+            return None
+        rank = max(1, math.ceil(q * count))
+        cumulative = 0
+        for index, bucket in enumerate(counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                if index < len(BUCKET_BOUNDS_S):
+                    return min(BUCKET_BOUNDS_S[index], max_s)
+                return max_s  # overflow bucket: only the true max is known
+        return max_s  # pragma: no cover - cumulative == count ends the loop
+
+
+class MetricsRegistry:
+    """Per-endpoint latency histograms, created lazily on first record."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def histogram(self, endpoint: str) -> LatencyHistogram:
+        # Fast path without the lock: dict reads are atomic under the GIL
+        # and histograms are never removed, so a hit is always safe.
+        found = self._histograms.get(endpoint)
+        if found is not None:
+            return found
+        with self._lock:
+            return self._histograms.setdefault(endpoint, LatencyHistogram())
+
+    def record(self, endpoint: str, seconds: float) -> None:
+        self.histogram(endpoint).record(seconds)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """``/stats``'s ``"latency"`` section: only endpoints with traffic."""
+        with self._lock:
+            histograms = dict(self._histograms)
+        return {endpoint: hist.summary() for endpoint, hist in sorted(histograms.items())}
+
+
+class AccessLog:
+    """Sampled JSONL access log (default: off).
+
+    Parameters
+    ----------
+    sample:
+        Probability in ``[0, 1]`` that a request is logged.  ``0`` disables
+        logging entirely (:meth:`maybe_record` returns without touching the
+        RNG — the hot path stays access-log-free); ``1`` logs every request
+        without consuming RNG state.
+    path / stream:
+        Where lines go: a file path (opened append, so several worker
+        processes can share one log), an explicit text stream, or — when
+        neither is given — ``sys.stderr``.
+    worker:
+        Worker id stamped into every line (``null`` for a single-process
+        daemon); with ``--procs N`` this is what proves traffic spreads.
+    rng:
+        Injectable :class:`random.Random` for deterministic sampling in
+        tests; a fresh unseeded one by default.
+
+    Line schema (one JSON object, compact separators)::
+
+        {"ts": <unix seconds>, "worker": <int|null>, "pid": <int>,
+         "method": "POST", "path": "/match", "endpoint": "match",
+         "status": 200, "ms": 0.41}
+    """
+
+    def __init__(
+        self,
+        sample: float,
+        *,
+        path: str | Path | None = None,
+        stream: TextIO | None = None,
+        worker: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {sample}")
+        if path is not None and stream is not None:
+            raise ValueError("pass path or stream, not both")
+        self.sample = sample
+        self.worker = worker
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        self._owns_stream = path is not None
+        if path is not None:
+            self._stream: TextIO = open(path, "a", encoding="utf-8")
+        else:
+            self._stream = stream if stream is not None else sys.stderr
+
+    def maybe_record(
+        self,
+        *,
+        endpoint: str,
+        method: str,
+        path: str,
+        status: int,
+        duration_s: float,
+        pid: int,
+    ) -> bool:
+        """Sample this request; write one JSONL line if it is drawn.
+
+        Returns whether the line was written — tests pin sampling
+        determinism against a same-seeded reference RNG through this.
+        """
+        if self.sample <= 0.0:
+            return False
+        if self.sample < 1.0 and self._rng.random() >= self.sample:
+            return False
+        line = json.dumps(
+            {
+                "ts": round(time.time(), 3),
+                "worker": self.worker,
+                "pid": pid,
+                "method": method,
+                "path": path,
+                "endpoint": endpoint,
+                "status": status,
+                "ms": round(duration_s * 1e3, 3),
+            },
+            separators=(",", ":"),
+        )
+        # One write + flush per line keeps multi-process appends to a
+        # shared file line-atomic in practice (O_APPEND, whole-line write).
+        # The closed check shares close()'s lock: a request thread still
+        # in flight while the daemon shuts down drops its line instead of
+        # raising on a closed file.
+        with self._lock:
+            if self._stream.closed:
+                return False
+            self._stream.write(line + "\n")
+            self._stream.flush()
+        return True
+
+    def close(self) -> None:
+        """Close the underlying file if this log opened it (idempotent)."""
+        if not self._owns_stream:
+            return
+        with self._lock:
+            if not self._stream.closed:
+                self._stream.close()

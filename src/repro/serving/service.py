@@ -49,7 +49,7 @@ from repro.serving.artifact import SynonymArtifact
 from repro.storage.artifact import ArtifactManifest
 from repro.text.normalize import normalize
 
-__all__ = ["ServiceStats", "MatchService"]
+__all__ = ["ServiceSnapshot", "ServiceStats", "MatchService"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,28 @@ class ServiceStats:
         if not self.queries:
             return 0.0
         return self.cache_hits / self.queries
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """One internally consistent view of a :class:`MatchService`.
+
+    Everything here was captured from a *single* serving state (plus one
+    atomic counter read), so consumers that report several fields together
+    — the daemon's ``/stats`` and ``/healthz`` payloads — can never pair
+    one artifact's ``version`` with another's ``has_priors`` across a
+    concurrent hot swap, which is exactly what happened when those fields
+    were read through separate property calls.
+    """
+
+    artifact: SynonymArtifact
+    stats: ServiceStats
+    artifact_path: Path | None
+
+    @property
+    def manifest(self) -> ArtifactManifest:
+        """Manifest of the captured artifact (same capture, by construction)."""
+        return self.artifact.manifest
 
 
 class _LRUCache:
@@ -404,3 +426,17 @@ class MatchService:
                 deltas_applied=self._deltas_applied,
                 deltas_skipped=self._deltas_skipped,
             )
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Capture artifact + manifest + counters as one consistent view.
+
+        Reads the serving state reference exactly once, so the returned
+        snapshot describes a single artifact even while :meth:`reload` /
+        :meth:`maybe_reload` swap states concurrently.  Payload builders
+        that report multiple artifact fields together must go through this
+        instead of the individual properties.
+        """
+        state = self._state
+        return ServiceSnapshot(
+            artifact=state.artifact, stats=self.stats, artifact_path=self._path
+        )

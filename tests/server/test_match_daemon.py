@@ -358,6 +358,65 @@ class TestHotSwap:
         assert errors == []
 
 
+class TestSnapshotConsistency:
+    def test_stats_payload_never_tears_across_hot_swap(self, click_log, tmp_path):
+        """Regression: /stats must describe exactly one artifact, never two.
+
+        ``stats_payload`` used to read ``service.stats``, ``.manifest`` and
+        ``.artifact`` as separate property calls; a hot swap landing between
+        them paired one artifact's ``version``/``content_hash`` with the
+        other's ``has_priors``/``entries``.  Hammering the payload builder
+        while a second thread flips between a priored and an unpriored
+        artifact catches that tear within a couple of seconds pre-fix; with
+        ``MatchService.snapshot()`` every payload is internally consistent.
+        """
+        with_priors = tmp_path / "with-priors.synart"
+        without_priors = tmp_path / "no-priors.synart"
+        manifest_a = compile_dictionary(
+            SynonymDictionary(ENTRIES), with_priors,
+            version="with-priors", click_log=click_log,
+        )
+        manifest_b = compile_dictionary(
+            SynonymDictionary(ENTRIES[:2]), without_priors, version="no-priors"
+        )
+        expected = {
+            manifest_a.version: (manifest_a.content_hash, True, len(ENTRIES)),
+            manifest_b.version: (manifest_b.content_hash, False, 2),
+        }
+
+        daemon = MatchDaemon(with_priors, port=0, watch_interval=0)
+        stop = threading.Event()
+        failures: list[Exception] = []
+
+        def flipper() -> None:
+            try:
+                while not stop.is_set():
+                    daemon.service.reload(without_priors)
+                    daemon.service.reload(with_priors)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        thread = threading.Thread(target=flipper, daemon=True)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                for _ in range(200):
+                    artifact = daemon.stats_payload()["artifact"]
+                    want_hash, want_priors, want_entries = expected[artifact["version"]]
+                    assert artifact["content_hash"] == want_hash, artifact
+                    assert artifact["has_priors"] == want_priors, (
+                        f"torn read: version {artifact['version']!r} paired with "
+                        f"has_priors={artifact['has_priors']}"
+                    )
+                    assert artifact["entries"] == want_entries, artifact
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+            daemon.stop()
+        assert failures == []
+
+
 class TestDaemonLifecycle:
     def test_start_twice_rejected(self, artifact_path):
         daemon = MatchDaemon(artifact_path, port=0, watch_interval=0).start()
