@@ -186,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--watch", action="store_true",
         help="re-load the artifact when its file changes (hot swap between queries)",
     )
+    serve.add_argument(
+        "--mmap", action="store_true",
+        help="serve out of a read-only mmap of the artifact instead of a heap copy",
+    )
 
     server = subparsers.add_parser(
         "server", help="run the long-lived HTTP/JSON match daemon over a compiled artifact"
@@ -224,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of requests written to the access log, 0..1 "
              "(default: 0 — access logging off — unless --access-log is "
              "given, which implies 1.0)",
+    )
+    server.add_argument(
+        "--mmap", action="store_true",
+        help="serve out of a read-only mmap of the artifact; --procs workers "
+             "then share one set of physical pages instead of N heap copies",
     )
 
     experiments = subparsers.add_parser(
@@ -500,7 +509,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.cache_size < 0:
         raise SystemExit("repro serve: error: --cache-size must be >= 0")
     service = MatchService(
-        args.artifact, cache_size=args.cache_size, enable_fuzzy=not args.no_fuzzy
+        args.artifact,
+        cache_size=args.cache_size,
+        enable_fuzzy=not args.no_fuzzy,
+        mmap=args.mmap,
     )
     latencies: list[float] = []
     interrupted = ""
@@ -535,6 +547,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if interrupted:
         summary.append(f"stopped by {interrupted}")
     print("\n".join(summary), file=sys.stderr, flush=True)
+    service.close()
     return 0
 
 
@@ -556,6 +569,8 @@ def _cmd_server(args: argparse.Namespace) -> int:
         if args.watch_interval > 0
         else "watcher disabled"
     )
+    if args.mmap:
+        watch_note = f"mmap, {watch_note}"
 
     if args.procs > 1:
         from repro.server.supervisor import ServerSupervisor
@@ -572,6 +587,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
                 max_batch=args.max_batch,
                 access_log_path=args.access_log,
                 access_log_sample=access_log_sample,
+                mmap=args.mmap,
             )
             # Every worker is listening before the address line goes out —
             # the same bind-before-banner promise the single-process path
@@ -602,6 +618,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
         watch_interval=args.watch_interval,
         max_batch=args.max_batch,
         access_log=access_log,
+        mmap=args.mmap,
     )
     # The address line is machine-readable on purpose: with --port 0 it is
     # the only way a wrapper (tests, CI) learns the bound port.

@@ -239,6 +239,11 @@ class MatchDaemon:
     reuse_port:
         Bind with ``SO_REUSEPORT`` so sibling processes can listen on the
         same port (raises :class:`RuntimeError` where unsupported).
+    mmap:
+        Serve out of a read-only mapping of the artifact file instead of a
+        heap copy (forwarded to :class:`MatchService`); sibling ``--procs``
+        workers mapping the same file share its physical pages, so
+        per-worker RSS stays O(1) in catalog size.
     """
 
     def __init__(
@@ -256,6 +261,7 @@ class MatchDaemon:
         access_log: AccessLog | None = None,
         worker_id: int | None = None,
         reuse_port: bool = False,
+        mmap: bool = False,
     ) -> None:
         if watch_interval < 0:
             raise ValueError(f"watch_interval must be >= 0, got {watch_interval}")
@@ -269,7 +275,11 @@ class MatchDaemon:
                 "run a single process (no --procs) instead"
             )
         self.service = MatchService(
-            artifact, cache_size=cache_size, enable_fuzzy=enable_fuzzy, verify=verify
+            artifact,
+            cache_size=cache_size,
+            enable_fuzzy=enable_fuzzy,
+            verify=verify,
+            mmap=mmap,
         )
         self.watch_interval = watch_interval
         self.max_batch = max_batch
@@ -349,6 +359,10 @@ class MatchDaemon:
         self._httpd.server_close()
         if self.access_log is not None:
             self.access_log.close()
+        # End-of-life for the serving state: release the artifact's file
+        # mapping if it has one (best-effort — a straggling request thread
+        # still holding views just defers the unmap to refcounting).
+        self.service.close()
 
     def run_forever(self, *, handle_signals: bool = True) -> int:
         """Serve in the calling thread until SIGINT/SIGTERM (the CLI path).
@@ -388,6 +402,7 @@ class MatchDaemon:
             print(self._shutdown_line(reason), file=sys.stderr, flush=True)
             if self.access_log is not None:
                 self.access_log.close()
+            self.service.close()
         return 0
 
     def _shutdown_line(self, reason: str) -> str:
@@ -483,6 +498,7 @@ class MatchDaemon:
                 "content_hash": manifest.content_hash,
                 "entries": manifest.counts.get("entries", 0),
                 "has_priors": snapshot.artifact.has_priors,
+                "mmap": snapshot.artifact.is_mapped,
                 "path": (
                     str(snapshot.artifact_path)
                     if snapshot.artifact_path is not None

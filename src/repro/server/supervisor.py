@@ -87,6 +87,7 @@ def _worker_main(
         access_log=access_log,
         worker_id=worker_id,
         reuse_port=True,
+        mmap=config["mmap"],
     )
     ready.set()
     sys.exit(daemon.run_forever())
@@ -118,6 +119,7 @@ class ServerSupervisor:
         access_log_path: str | Path | None = None,
         access_log_sample: float = 0.0,
         shutdown_timeout: float = 10.0,
+        mmap: bool = False,
     ) -> None:
         if procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
@@ -144,6 +146,10 @@ class ServerSupervisor:
                 str(access_log_path) if access_log_path is not None else None
             ),
             "access_log_sample": access_log_sample,
+            # With mmap=True every worker maps the same published file:
+            # one set of physical pages serves the whole group, so adding
+            # workers does not add copies of the catalog.
+            "mmap": mmap,
         }
         # Reserve the address: bound (never listening) with SO_REUSEPORT,
         # this socket pins port=0 to one concrete port for the lifetime of

@@ -8,7 +8,10 @@ once, offline, into a single immutable artifact file that a server
 cold-loads with one read; :class:`SynonymArtifact` then implements the full
 :class:`~repro.matching.index.DictionaryIndex` protocol directly on the
 packed bytes, materializing a :class:`DictionaryEntry` only when a lookup
-actually touches it.
+actually touches it.  The packed arrays are *typed views* over the loaded
+buffer — never eager copies — so an mmap-loaded artifact (``load(...,
+mmap=True)``) serves straight out of the page cache and N workers mapping
+the same published file share one set of physical pages.
 
 The normative description of the on-disk format — container framing,
 manifest fields, byte-level block layouts for the full artifact (layouts 1
@@ -44,6 +47,7 @@ from repro.matching.dictionary import DictionaryEntry
 from repro.storage.artifact import (
     ArtifactError,
     ArtifactManifest,
+    ArtifactMapping,
     content_hash,
     read_artifact,
     read_manifest,
@@ -388,9 +392,23 @@ class SynonymArtifact:
     identical results, pinned by the serving equivalence tests.  Instances
     are immutable views over one loaded file; strings and entries are
     decoded lazily and cached.
+
+    On a native-endian file the packed arrays are zero-copy typed views
+    (``memoryview.cast``) over the loaded buffer — heap or mmap alike —
+    so construction copies nothing.  Foreign-endian files fall back to
+    byteswapped :class:`array.array` copies.  When *mapping* is the
+    :class:`~repro.storage.artifact.ArtifactMapping` the blocks came from,
+    the typed views are registered with it so :meth:`close` can tear the
+    map down deterministically.
     """
 
-    def __init__(self, manifest: ArtifactManifest, blocks: dict[str, memoryview]) -> None:
+    def __init__(
+        self,
+        manifest: ArtifactManifest,
+        blocks: Mapping[str, memoryview],
+        *,
+        mapping: ArtifactMapping | None = None,
+    ) -> None:
         if manifest.kind != ARTIFACT_KIND:
             raise ArtifactError(f"not a synonym dictionary artifact: {manifest.kind!r}")
         extra = manifest.extra
@@ -402,46 +420,98 @@ class SynonymArtifact:
         if extra.get("uint_itemsize") != array(_U32).itemsize:
             raise ArtifactError("artifact was compiled on an incompatible platform")
         self.manifest = manifest
+        self._mapping = mapping
+        foreign = extra.get("byteorder", sys.byteorder) != sys.byteorder
+
+        def typed(name: str, typecode: str):
+            block = blocks[name]
+            if foreign:
+                values = _unpack(typecode, block)
+                values.byteswap()
+                return values
+            view = block.cast(typecode)
+            if mapping is not None:
+                mapping.adopt(view)
+            return view
+
         self._blob = blocks["strings.blob"]
-        self._offsets = _unpack(_U64, blocks["strings.offsets"])
-        self._entry_text = _unpack(_U32, blocks["entries.text"])
-        self._entry_entity = _unpack(_U32, blocks["entries.entity"])
-        self._entry_source = _unpack(_U32, blocks["entries.source"])
-        self._entry_weight = _unpack(_F64, blocks["entries.weight"])
-        self._exact_text = _unpack(_U32, blocks["exact.text"])
-        self._exact_starts = _unpack(_U32, blocks["exact.starts"])
-        self._exact_entries = _unpack(_U32, blocks["exact.entries"])
-        self._token_text = _unpack(_U32, blocks["token.text"])
-        self._token_starts = _unpack(_U32, blocks["token.starts"])
-        self._token_postings = _unpack(_U32, blocks["token.postings"])
+        self._offsets = typed("strings.offsets", _U64)
+        self._entry_text = typed("entries.text", _U32)
+        self._entry_entity = typed("entries.entity", _U32)
+        self._entry_source = typed("entries.source", _U32)
+        self._entry_weight = typed("entries.weight", _F64)
+        self._exact_text = typed("exact.text", _U32)
+        self._exact_starts = typed("exact.starts", _U32)
+        self._exact_entries = typed("exact.entries", _U32)
+        self._token_text = typed("token.text", _U32)
+        self._token_starts = typed("token.starts", _U32)
+        self._token_postings = typed("token.postings", _U32)
         # Layout-1 artifacts predate the priors block; they load unchanged
         # and simply report has_priors == False.
         if "priors.entity" in blocks:
-            self._prior_entity: array | None = _unpack(_U32, blocks["priors.entity"])
-            self._prior_value: array | None = _unpack(_F64, blocks["priors.value"])
+            self._prior_entity = typed("priors.entity", _U32)
+            self._prior_value = typed("priors.value", _F64)
         else:
             self._prior_entity = None
             self._prior_value = None
-        if extra.get("byteorder", sys.byteorder) != sys.byteorder:
-            for values in (
-                self._offsets, self._entry_text, self._entry_entity,
-                self._entry_source, self._entry_weight, self._exact_text,
-                self._exact_starts, self._exact_entries, self._token_text,
-                self._token_starts, self._token_postings,
-                self._prior_entity, self._prior_value,
-            ):
-                if values is not None:
-                    values.byteswap()
         self._strings: dict[int, str] = {}
         self._entries: dict[int, DictionaryEntry] = {}
         self._by_entity: dict[str, list[int]] | None = None
         self._priors: dict[str, float] | None = None
 
     @classmethod
-    def load(cls, path: str | Path, *, verify: bool = True) -> "SynonymArtifact":
-        """Cold-load an artifact: one file read plus flat array copies."""
-        manifest, blocks = read_artifact(path, expected_kind=ARTIFACT_KIND, verify=verify)
-        return cls(manifest, blocks)
+    def load(
+        cls, path: str | Path, *, verify: bool = True, mmap: bool = False
+    ) -> "SynonymArtifact":
+        """Cold-load an artifact: one read (or one map) plus typed views.
+
+        With ``mmap=True`` the file is mapped read-only instead of copied
+        to the heap; the returned artifact owns the mapping (see
+        :meth:`close`) and every worker process loading the same file this
+        way shares its physical pages.
+        """
+        manifest, blocks = read_artifact(
+            path, expected_kind=ARTIFACT_KIND, verify=verify, mmap=mmap
+        )
+        mapping = blocks if isinstance(blocks, ArtifactMapping) else None
+        try:
+            return cls(manifest, blocks, mapping=mapping)
+        except BaseException:
+            if mapping is not None:
+                mapping.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Mapping ownership
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_mapped(self) -> bool:
+        """True when this artifact serves out of an ``mmap``'d file."""
+        return self._mapping is not None
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (always False for heap artifacts)."""
+        return self._mapping is not None and self._mapping.closed
+
+    def close(self) -> bool:
+        """Release the underlying file mapping (no-op for heap artifacts).
+
+        Returns True when the map was torn down now (or there was none);
+        False when live outside views deferred the unmap to CPython's
+        refcounting.  Either way the artifact must not serve lookups after
+        a close.
+        """
+        if self._mapping is None:
+            return True
+        return self._mapping.close()
+
+    def __enter__(self) -> "SynonymArtifact":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     @classmethod
     def from_blocks(
@@ -504,7 +574,7 @@ class SynonymArtifact:
             self._entries[entry_id] = cached
         return cached
 
-    def _find(self, sorted_sids: array, needle: bytes) -> int:
+    def _find(self, sorted_sids: "array | memoryview", needle: bytes) -> int:
         """Binary search *needle* in a byte-sorted string-id array (-1 miss)."""
         lo, hi = 0, len(sorted_sids)
         while lo < hi:

@@ -65,6 +65,7 @@ __all__ = [
     "DELTA_KIND",
     "DELTA_LAYOUT_VERSION",
     "delta_path_for",
+    "fold_path_for",
     "write_delta",
     "DictionaryDelta",
     "merge_state",
@@ -89,6 +90,23 @@ def delta_path_for(path: str | Path) -> Path:
     pick up deltas.
     """
     return Path(str(path) + ".delta")
+
+
+def fold_path_for(path: str | Path) -> Path:
+    """Where a consumer republishes a delta-merged artifact (``<path>.applied``).
+
+    An mmap-mode server cannot apply a delta in memory (there is no file to
+    map), so it *folds*: it writes the merged full artifact next to the
+    watched file and remaps from there.  The fold deliberately does **not**
+    go to the watched path itself — that path belongs to the publisher, and
+    overwriting it could clobber a newer full artifact published
+    concurrently.  Because delta application is deterministic, two workers
+    folding the same (base, delta) pair write byte-identical files, so the
+    last atomic rename wins harmlessly.  A full republish makes any fold
+    file stale; :class:`~repro.serving.service.MatchService` sweeps it on
+    full reload.
+    """
+    return Path(str(path) + ".applied")
 
 
 def write_delta(
@@ -367,7 +385,8 @@ def apply_delta(
     delta: DictionaryDelta,
     *,
     output_path: str | Path | None = None,
-) -> SynonymArtifact:
+    materialize: bool = True,
+) -> SynonymArtifact | None:
     """Materialize the full artifact a delta describes on top of *base*.
 
     Verification, in order: the base must carry a state hash (pre-delta
@@ -379,6 +398,9 @@ def apply_delta(
 
     Returns the in-memory post-apply artifact; with *output_path* the same
     blocks are also written (atomically) as a full layout-2 artifact file.
+    ``materialize=False`` skips building the in-memory artifact and returns
+    ``None`` — the fold path for mmap-mode consumers, which only want the
+    file (all verification still runs).
     """
     if not base.state_hash:
         raise ArtifactError(
@@ -414,6 +436,8 @@ def apply_delta(
             extra=extra,
             config_fingerprint=fingerprint,
         )
+    if not materialize:
+        return None
     return SynonymArtifact.from_blocks(
         blocks,
         version=delta.version,

@@ -152,6 +152,13 @@ class MatchService:
         Forwarded to :class:`QueryMatcher`.
     verify:
         Verify the artifact's content hash on every (re)load.
+    mmap:
+        Serve out of a read-only file mapping instead of a heap copy.
+        Requires a path-backed service; workers in separate processes
+        mapping the same published file share its physical pages.  A
+        pending delta sidecar is then *folded* — republished as a merged
+        full artifact at ``<path>.applied`` and remapped — instead of
+        applied in memory (see :func:`repro.serving.delta.fold_path_for`).
     """
 
     def __init__(
@@ -163,14 +170,18 @@ class MatchService:
         fuzzy_similarity_threshold: float = 0.84,
         fuzzy_containment_threshold: float = 0.6,
         verify: bool = True,
+        mmap: bool = False,
     ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if mmap and isinstance(artifact, SynonymArtifact):
+            raise ValueError("mmap serving requires a path-backed service")
         self.cache_size = cache_size
         self.enable_fuzzy = enable_fuzzy
         self.fuzzy_similarity_threshold = fuzzy_similarity_threshold
         self.fuzzy_containment_threshold = fuzzy_containment_threshold
         self.verify = verify
+        self.mmap = mmap
         self._path: Path | None = None
         self._queries = 0
         self._cache_hits = 0
@@ -216,8 +227,19 @@ class MatchService:
         )
 
     def _load_state(self, path: Path) -> _ServingState:
+        from repro.serving.delta import fold_path_for
+
         stat = path.stat()
-        artifact = SynonymArtifact.load(path, verify=self.verify)
+        artifact = SynonymArtifact.load(path, verify=self.verify, mmap=self.mmap)
+        # A full (re)load obsoletes any fold file left by an earlier delta:
+        # the watched artifact is now the newest full state.  Unlinking is
+        # safe even while an old worker still maps the fold — POSIX keeps
+        # the pages alive until the last mapping drops.  If a sidecar is
+        # still pending, _apply_pending_delta_locked re-folds right after.
+        try:
+            fold_path_for(path).unlink()
+        except OSError:
+            pass
         return self._build_state(
             artifact, stamp=(stat.st_mtime_ns, stat.st_size, stat.st_ino)
         )
@@ -279,8 +301,15 @@ class MatchService:
         does not chain onto the current artifact is remembered by stamp
         (``deltas_skipped``) so the poll path does not re-read it every
         tick; serving continues on the artifact already loaded.
+
+        In mmap mode there is no in-memory apply — the merged artifact is
+        *folded* to ``<path>.applied`` (never the watched path itself,
+        which belongs to the publisher) and remapped from there.  The
+        sidecar stays on disk so a restart re-folds; folding is
+        deterministic, so concurrent workers folding the same pair write
+        byte-identical files and the last atomic rename wins harmlessly.
         """
-        from repro.serving.delta import DictionaryDelta
+        from repro.serving.delta import DictionaryDelta, apply_delta, fold_path_for
         from repro.storage.artifact import ArtifactError
 
         stamp = self._delta_stamp()
@@ -289,7 +318,12 @@ class MatchService:
             return False
         try:
             delta = DictionaryDelta.load(self.delta_path, verify=self.verify)
-            artifact = state.artifact.apply_delta(delta)
+            if self.mmap:
+                fold = fold_path_for(self._path)  # type: ignore[arg-type]
+                apply_delta(state.artifact, delta, output_path=fold, materialize=False)
+                artifact = SynonymArtifact.load(fold, verify=self.verify, mmap=True)
+            else:
+                artifact = state.artifact.apply_delta(delta)
         except FileNotFoundError:
             # Unlinked between the stat and the read (a concurrent full
             # publish removes its stale sidecar): nothing to apply, and
@@ -394,6 +428,21 @@ class MatchService:
             return 0.0
         matched = sum(1 for match in self.match_many(queries) if match.matched)
         return matched / len(queries)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> bool:
+        """Release the current artifact's file mapping, if it has one.
+
+        End-of-life teardown only (daemon shutdown, tests, CLI exit) —
+        never called on hot swap, where in-flight requests may still hold
+        views into the old state; a swapped-out state is simply dropped and
+        refcounting unmaps it when the last reader finishes.  Returns True
+        when the map went away now (always True for heap serving).
+        """
+        return self._state.artifact.close()
 
     # ------------------------------------------------------------------ #
     # Introspection
