@@ -93,9 +93,7 @@ def _measure_workers(artifact: Path, *, mmap: bool) -> list[tuple[int, int, int]
             (worker.pid, *_pss_kb(worker.pid)) for worker in supervisor._workers
         ]
     finally:
-        supervisor.stop()
-        supervisor._reap_workers()
-        supervisor._anchor.close()
+        supervisor.shutdown()
 
 
 class TestMmapServing:

@@ -31,11 +31,11 @@ from repro.clicklog.log import ClickLog
 from repro.clicklog.records import ClickRecord
 from repro.serving.artifact import compile_dictionary
 from repro.server.client import ServerClient
-from repro.server.daemon import MatchDaemon
 from repro.storage.jsonl import write_jsonl
 
 from benchmarks.conftest import write_result
 from benchmarks.test_bench_match_throughput import build_synonym_rows
+from tests.conftest import start_daemon
 
 ENTITIES = 1_500
 SYNONYMS_PER_ENTITY = 3
@@ -89,8 +89,9 @@ def server_setup(tmp_path_factory):
     compile_dictionary(
         _dictionary_from_synonyms(jsonl_path), artifact_path, click_log=click_log
     )
-    daemon = MatchDaemon(artifact_path, port=0, watch_interval=0, max_batch=BATCH_SIZE)
-    daemon.start()
+    # The shared spin-up helper (free port + EADDRINUSE retry): a busy
+    # ephemeral port no longer flakes the whole benchmark module.
+    daemon = start_daemon(artifact_path, watch_interval=0, max_batch=BATCH_SIZE)
     yield rows, daemon
     daemon.stop()
 

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the offline *and* online workflow end to end
+Nine subcommands cover the offline *and* online workflow end to end
 without writing any Python:
 
 * ``simulate``    — build a simulated world and dump its catalog, Search
@@ -34,7 +34,12 @@ without writing any Python:
   republished artifacts; ``--procs N`` runs N worker processes sharing
   one port via ``SO_REUSEPORT``, ``--access-log``/``--access-log-sample``
   enable a sampled JSONL access log;
-* ``experiments`` — regenerate Figure 2, Figure 3 and Table I as text.
+* ``experiments`` — regenerate Figure 2, Figure 3 and Table I as text;
+* ``scenario``    — the scenario & experiment harness
+  (:mod:`repro.scenarios`): ``list`` the named workload scenarios,
+  ``run`` one against a freshly booted daemon (``--procs``/``--mmap``
+  mirror ``server``) writing a versioned JSON result, and ``compare``
+  two result files metric by metric.
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -240,6 +245,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("--artifact", choices=("figure2", "figure3", "table1", "all"), default="all")
     experiments.add_argument("--quick", action="store_true", help="smaller worlds, faster")
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="run declarative workload scenarios against a live daemon "
+             "and compare the result files",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list the named scenarios")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run a named scenario and write a versioned JSON result"
+    )
+    scenario_run.add_argument("name", help="scenario name (see 'scenario list')")
+    scenario_run.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's seed"
+    )
+    scenario_run.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="override seconds per repeat",
+    )
+    scenario_run.add_argument(
+        "--repeats", type=_positive_int, default=None, help="override repeat count"
+    )
+    scenario_run.add_argument(
+        "--entities", type=_positive_int, default=None,
+        help="override the synthetic catalog size",
+    )
+    scenario_run.add_argument(
+        "--procs", type=_positive_int, default=1,
+        help="worker processes for the driven daemon (default 1)",
+    )
+    scenario_run.add_argument(
+        "--mmap", action="store_true", help="serve the artifact mmap-backed"
+    )
+    scenario_run.add_argument(
+        "--output", type=Path, default=None, metavar="PATH",
+        help="result JSON path (default results/scenarios/<name>.json)",
+    )
+    scenario_run.add_argument(
+        "--workdir", type=Path, default=None, metavar="DIR",
+        help="artifact/delta working directory "
+             "(default: a fresh temporary directory)",
+    )
+    scenario_compare = scenario_sub.add_parser(
+        "compare", help="diff two scenario result files"
+    )
+    scenario_compare.add_argument("result_a", type=Path, help="baseline result JSON")
+    scenario_compare.add_argument("result_b", type=Path, help="candidate result JSON")
+    scenario_compare.add_argument(
+        "--json", action="store_true", help="emit the structured comparison as JSON"
+    )
 
     return parser
 
@@ -654,6 +709,77 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    # Imported lazily: the harness pulls in the server/serving stack,
+    # which the offline subcommands never need.
+    from repro.scenarios import (
+        Experiment,
+        compare_results,
+        get_scenario,
+        load_result,
+        render_comparison,
+        scenario_names,
+        write_result,
+    )
+    from repro.scenarios.library import NAMED_SCENARIOS
+
+    if args.scenario_command == "list":
+        width = max(len(name) for name in scenario_names())
+        for name in scenario_names():
+            print(f"{name:<{width}}  {NAMED_SCENARIOS[name].description}")
+        return 0
+
+    if args.scenario_command == "compare":
+        comparison = compare_results(load_result(args.result_a), load_result(args.result_b))
+        if args.json:
+            print(json.dumps(comparison, indent=2, sort_keys=True))
+        else:
+            print(render_comparison(comparison))
+        return 0
+
+    try:
+        scenario = get_scenario(args.name)
+    except KeyError as exc:
+        raise SystemExit(f"repro scenario: error: {exc.args[0]}")
+    scenario = scenario.with_overrides(
+        seed=args.seed,
+        duration_s=args.duration,
+        repeats=args.repeats,
+        entities=args.entities,
+    )
+    output = args.output
+    if output is None:
+        output = Path("results") / "scenarios" / f"{scenario.name}.json"
+    with contextlib.ExitStack() as stack:
+        if args.workdir is not None:
+            workdir = args.workdir
+        else:
+            import tempfile
+
+            workdir = Path(
+                stack.enter_context(tempfile.TemporaryDirectory(prefix="repro-scenario-"))
+            )
+        experiment = Experiment(
+            scenario,
+            workdir=workdir,
+            procs=args.procs,
+            mmap=args.mmap,
+            log=lambda message: print(f"scenario {scenario.name}: {message}", file=sys.stderr),
+        )
+        result = experiment.run()
+    write_result(result, output)
+    summary = result["summary"]
+    print(
+        f"scenario {scenario.name}: {summary['requests']} requests "
+        f"({summary['queries']} queries) at {summary['throughput_rps']} req/s, "
+        f"{summary['errors']} errors, {summary['deltas_published']} deltas published "
+        f"({summary['server']['deltas_applied']} applied) -> {output}"
+    )
+    # A drive error means the measurement itself is suspect: fail the
+    # run loudly so CI smoke jobs cannot greenwash a flaky daemon.
+    return 0 if summary["errors"] == 0 else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "mine": _cmd_mine,
@@ -663,6 +789,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "server": _cmd_server,
     "experiments": _cmd_experiments,
+    "scenario": _cmd_scenario,
 }
 
 

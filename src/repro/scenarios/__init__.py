@@ -1,0 +1,52 @@
+"""Scenario & experiment harness: declarative workloads for the daemon.
+
+``repro.scenarios`` turns perf claims into replayable experiments:
+
+* :mod:`~repro.scenarios.spec` — the frozen, fully-seeded
+  :class:`~repro.scenarios.spec.Scenario` dataclass (traffic mix, query
+  distribution, catalog churn, burst profile, duration, repeats).
+* :mod:`~repro.scenarios.workload` — deterministic generators for the
+  catalog, click log, query stream and request plan.
+* :mod:`~repro.scenarios.experiment` — the
+  :class:`~repro.scenarios.experiment.Experiment` runner that boots a
+  real daemon, drives it over the wire, republishes deltas mid-run and
+  writes versioned JSON results, plus result comparison.
+* :mod:`~repro.scenarios.library` — the named scenarios behind
+  ``python -m repro scenario``.
+"""
+
+from repro.scenarios.experiment import (
+    Experiment,
+    compare_results,
+    load_result,
+    render_comparison,
+    write_result,
+)
+from repro.scenarios.library import NAMED_SCENARIOS, get_scenario, scenario_names
+from repro.scenarios.spec import Scenario
+from repro.scenarios.workload import (
+    Catalog,
+    Request,
+    build_catalog,
+    query_stream,
+    request_stream,
+    stream_fingerprint,
+)
+
+__all__ = [
+    "Catalog",
+    "Experiment",
+    "NAMED_SCENARIOS",
+    "Request",
+    "Scenario",
+    "build_catalog",
+    "compare_results",
+    "get_scenario",
+    "load_result",
+    "query_stream",
+    "render_comparison",
+    "request_stream",
+    "scenario_names",
+    "stream_fingerprint",
+    "write_result",
+]

@@ -1,0 +1,105 @@
+"""The named scenario library: the workloads every PR measures against.
+
+Each entry pins one serving regime the paper's pipeline must survive,
+with CI-friendly defaults (a few seconds per run, deterministic seeds).
+``scenario run NAME`` applies CLI overrides on top via
+:meth:`Scenario.with_overrides`, so the same named spec scales from a
+5-second smoke run to a multi-minute soak without editing code.
+
+Adding a scenario is one dataclass literal here — keep descriptions to
+one line (they are the ``scenario list`` output) and keep defaults small
+enough for CI; see ``docs/SCENARIOS.md`` for the field-by-field schema.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import Scenario
+
+__all__ = ["NAMED_SCENARIOS", "get_scenario", "scenario_names"]
+
+_LIBRARY = (
+    Scenario(
+        name="flash-crowd",
+        description="Head-heavy zipf traffic with 4x request bursts every 2s",
+        entities=400,
+        zipf_exponent=1.4,
+        noise_rate=0.02,
+        context_rate=0.1,
+        miss_rate=0.05,
+        resolve_ratio=0.15,
+        batch_ratio=0.05,
+        batch_size=8,
+        qps=250.0,
+        burst_factor=4.0,
+        burst_every_s=2.0,
+        burst_duration_s=0.5,
+        duration_s=5.0,
+    ),
+    Scenario(
+        name="cold-cache",
+        description="Flat-tail traffic, cache wiped before each of 3 repeats",
+        entities=600,
+        zipf_exponent=0.7,
+        noise_rate=0.05,
+        miss_rate=0.1,
+        resolve_ratio=0.25,
+        duration_s=2.0,
+        repeats=3,
+        cold_start=True,
+    ),
+    Scenario(
+        name="delta-storm",
+        description="5% of entities churn through a chained delta every 0.75s",
+        entities=300,
+        zipf_exponent=1.0,
+        noise_rate=0.03,
+        miss_rate=0.08,
+        resolve_ratio=0.2,
+        batch_ratio=0.15,
+        batch_size=16,
+        dirty_fraction=0.05,
+        delta_every_s=0.75,
+        duration_s=5.0,
+    ),
+    Scenario(
+        name="adversarial-misspellings",
+        description="60% of on-catalog queries carry a typo, fuzzy path stress",
+        entities=400,
+        zipf_exponent=1.0,
+        noise_rate=0.6,
+        context_rate=0.1,
+        miss_rate=0.1,
+        resolve_ratio=0.2,
+        duration_s=5.0,
+    ),
+    Scenario(
+        name="multilingual-aliases",
+        description="60% of entities carry non-ASCII aliases (accents/Cyrillic/CJK)",
+        entities=400,
+        multilingual_share=0.6,
+        zipf_exponent=1.0,
+        noise_rate=0.05,
+        context_rate=0.1,
+        miss_rate=0.1,
+        resolve_ratio=0.25,
+        duration_s=5.0,
+    ),
+)
+
+NAMED_SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario for scenario in _LIBRARY
+}
+
+
+def scenario_names() -> list[str]:
+    """Library names in their curated (not alphabetical) order."""
+    return [scenario.name for scenario in _LIBRARY]
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a named scenario; unknown names list what exists."""
+    try:
+        return NAMED_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None

@@ -180,6 +180,20 @@ class ServerSupervisor:
         self._shutdown_signum = signal.SIGTERM
         self._signal_workers(signal.SIGTERM)
 
+    def shutdown(self) -> None:
+        """Stop the group and release every resource (idempotent).
+
+        The embedding API counterpart of :meth:`run_forever`'s teardown:
+        callers that drove the group via :meth:`start` (tests,
+        benchmarks, the experiment harness) use this instead of reaching
+        for ``_reap_workers``/``_anchor`` — SIGTERM every worker, join
+        them (escalating per ``shutdown_timeout``), close the anchor
+        socket so the port is free the moment this returns.
+        """
+        self.stop()
+        self._reap_workers()
+        self._anchor.close()
+
     def _signal_workers(self, signum: int) -> None:
         for worker in self._workers:
             if worker.is_alive() and worker.pid is not None:

@@ -3,9 +3,30 @@
 The expensive fixtures (simulated worlds) are session-scoped so the whole
 suite builds them once; the handcrafted fixtures are tiny and rebuilt per
 test for isolation.
+
+This is also the home of the **one** daemon spin-up/teardown helper the
+server tests, serving tests and benchmarks all share (it used to be
+copy-pasted per file): :func:`start_daemon` / :func:`daemon_server` boot
+an in-process :class:`~repro.server.daemon.MatchDaemon` on a free port —
+retrying the bind on ``EADDRINUSE``, which port-reuse under parallel CI
+runs occasionally hits — and :func:`cli_server` runs the real
+``python -m repro server`` process with a parsed address banner, a
+readiness wait via ``/healthz`` and guaranteed SIGTERM cleanup.
+Benchmarks import these as ``from tests.conftest import daemon_server``.
 """
 
 from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Iterator
 
 import pytest
 
@@ -15,6 +36,137 @@ from repro.search.engine import SearchEngine
 from repro.simulation.aliases import build_alias_table
 from repro.simulation.catalog import movie_catalog
 from repro.simulation.scenario import ScenarioConfig, SimulatedWorld, build_world
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+# The daemon's machine-readable address banner, printed before serving.
+BANNER_RE = re.compile(r"http://127\.0\.0\.1:(\d+)")
+
+
+def start_daemon(artifact: Any, *, port: int = 0, bind_retries: int = 5, **kwargs: Any):
+    """Construct and start a :class:`MatchDaemon`, retrying busy binds.
+
+    ``port=0`` (the default) always binds a free ephemeral port; the
+    retry loop matters when a test pins a concrete port (say, to restart
+    a daemon on the same address) and a parallel run or a lingering
+    socket still holds it — ``EADDRINUSE`` backs off and retries instead
+    of flaking the run.  All other keyword arguments go straight to the
+    daemon constructor.
+    """
+    from repro.server.daemon import MatchDaemon
+
+    last_error: OSError | None = None
+    for attempt in range(bind_retries):
+        try:
+            return MatchDaemon(artifact, port=port, **kwargs).start()
+        except OSError as exc:
+            if exc.errno != errno.EADDRINUSE:
+                raise
+            last_error = exc
+            time.sleep(0.05 * (attempt + 1))
+    assert last_error is not None
+    raise last_error
+
+
+@contextlib.contextmanager
+def daemon_server(
+    artifact: Any,
+    *,
+    port: int = 0,
+    ready_timeout: float = 10.0,
+    client_timeout: float = 10.0,
+    **kwargs: Any,
+) -> Iterator[tuple]:
+    """In-process daemon plus a ready client; teardown is guaranteed.
+
+    Yields ``(daemon, client)`` with ``/healthz`` already answering.
+    The daemon is stopped (socket closed, watcher joined) however the
+    body exits — the try/finally that used to be copy-pasted around
+    every inline spin-up lives here now.
+    """
+    from repro.server.client import ServerClient
+
+    daemon = start_daemon(artifact, port=port, **kwargs)
+    try:
+        with ServerClient(daemon.host, daemon.port, timeout=client_timeout) as client:
+            client.wait_until_ready(timeout=ready_timeout)
+            yield daemon, client
+    finally:
+        daemon.stop()
+
+
+class CliServer:
+    """A running ``python -m repro server`` process, address already parsed."""
+
+    def __init__(self, proc: subprocess.Popen, banner: str, port: int) -> None:
+        self.proc = proc
+        self.banner = banner
+        self.port = port
+        self.returncode: int | None = None
+        self.stdout_text = ""
+        self.stderr_text = ""
+
+    def stop(self, *, timeout: float = 15.0) -> tuple[int, str, str]:
+        """SIGTERM the server and collect (returncode, stdout, stderr)."""
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        out, err = self.proc.communicate(timeout=timeout)
+        self.returncode = self.proc.returncode
+        self.stdout_text += out
+        self.stderr_text += err
+        return self.returncode, self.stdout_text, self.stderr_text
+
+
+@contextlib.contextmanager
+def cli_server(
+    *cli_args: str,
+    ready_timeout: float = 60.0,
+    wait_ready: bool = True,
+    env: dict[str, str] | None = None,
+) -> Iterator[CliServer]:
+    """The real ops path: spawn ``python -m repro server ...`` and clean up.
+
+    Reads the address banner from stdout (the daemon prints it only once
+    the socket is bound), optionally waits for ``/healthz``, and yields a
+    :class:`CliServer`.  Teardown escalates: SIGTERM, then ``communicate``
+    with a timeout, then SIGKILL — no orphan servers, whatever the test
+    body did (including having called :meth:`CliServer.stop` itself).
+    """
+    run_env = dict(os.environ, **(env or {}))
+    run_env["PYTHONPATH"] = (
+        SRC_DIR + os.pathsep + run_env["PYTHONPATH"]
+        if run_env.get("PYTHONPATH")
+        else SRC_DIR
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "server", *cli_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=run_env,
+    )
+    try:
+        banner = proc.stdout.readline()
+        matched = BANNER_RE.search(banner)
+        if matched is None:
+            proc.kill()
+            _, err = proc.communicate(timeout=15)
+            raise AssertionError(f"no address banner in {banner!r}; stderr: {err}")
+        server = CliServer(proc, banner, int(matched.group(1)))
+        if wait_ready:
+            from repro.server.client import ServerClient
+
+            with ServerClient(port=server.port) as client:
+                client.wait_until_ready(timeout=ready_timeout)
+        yield server
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.communicate(timeout=15)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hung server
+                proc.kill()
+                proc.communicate(timeout=15)
 
 
 @pytest.fixture(scope="session")

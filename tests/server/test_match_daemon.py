@@ -7,14 +7,8 @@ block must reproduce :meth:`MatchResolver.rank` over the live click log the
 artifact was compiled from, field for field.
 """
 
-import os
-import re
-import signal
-import subprocess
-import sys
 import threading
 import time
-from pathlib import Path
 
 import pytest
 
@@ -24,6 +18,7 @@ from repro.matching.matcher import QueryMatcher
 from repro.matching.resolver import MatchResolver
 from repro.server import MatchDaemon, ServerClient, ServerError
 from repro.serving.artifact import SynonymArtifact, compile_dictionary
+from tests.conftest import cli_server, daemon_server, start_daemon
 
 ENTRIES = [
     DictionaryEntry("lyra quinn", "m1"),
@@ -61,8 +56,7 @@ def artifact_path(dictionary, click_log, tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def daemon(artifact_path):
-    daemon = MatchDaemon(artifact_path, port=0, watch_interval=0.05, max_batch=16)
-    daemon.start()
+    daemon = start_daemon(artifact_path, watch_interval=0.05, max_batch=16)
     yield daemon
     daemon.stop()
 
@@ -179,20 +173,16 @@ class TestMatchEndpoint:
             conn.close()
 
     def test_oversized_body_rejected_before_reading(self, artifact_path):
-        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0, max_body_bytes=256)
-        daemon.start()
-        try:
-            with ServerClient(daemon.host, daemon.port) as client:
-                client.wait_until_ready()
-                with pytest.raises(ServerError) as excinfo:
-                    client.match("x" * 1024)
-                assert excinfo.value.status == 413
-                assert "max_body_bytes" in str(excinfo.value)
-                # The daemon closed that connection (it never read the
-                # body); the client transparently reconnects and serves on.
-                assert client.match("lyra quinn")["matched"] is True
-        finally:
-            daemon.stop()
+        with daemon_server(
+            artifact_path, watch_interval=0, max_body_bytes=256
+        ) as (_daemon, client):
+            with pytest.raises(ServerError) as excinfo:
+                client.match("x" * 1024)
+            assert excinfo.value.status == 413
+            assert "max_body_bytes" in str(excinfo.value)
+            # The daemon closed that connection (it never read the
+            # body); the client transparently reconnects and serves on.
+            assert client.match("lyra quinn")["matched"] is True
 
 
 class TestResolveEndpoint:
@@ -238,56 +228,46 @@ class TestResolveEndpoint:
     def test_resolve_without_priors_degrades_to_uniform(self, dictionary, tmp_path):
         path = tmp_path / "noprior.synart"
         compile_dictionary(dictionary, path, version="v-noprior")
-        daemon = MatchDaemon(path, port=0, watch_interval=0).start()
-        try:
-            with ServerClient(daemon.host, daemon.port) as client:
-                client.wait_until_ready()
-                assert client.stats()["artifact"]["has_priors"] is False
-                payload = client.resolve("lyra quinn")
-                priors = {item["entity_id"]: item["prior"] for item in payload["ranked"]}
-                assert priors == {"m1": 1.0, "m2": 1.0}
-                # Uniform priors: deterministic entity-id tie-break.
-                assert [item["entity_id"] for item in payload["ranked"]] == ["m1", "m2"]
-        finally:
-            daemon.stop()
+        with daemon_server(path, watch_interval=0) as (_daemon, client):
+            assert client.stats()["artifact"]["has_priors"] is False
+            payload = client.resolve("lyra quinn")
+            priors = {item["entity_id"]: item["prior"] for item in payload["ranked"]}
+            assert priors == {"m1": 1.0, "m2": 1.0}
+            # Uniform priors: deterministic entity-id tie-break.
+            assert [item["entity_id"] for item in payload["ranked"]] == ["m1", "m2"]
 
 
 class TestHotSwap:
     def test_admin_reload_and_watcher_swap(self, dictionary, click_log, tmp_path):
         path = tmp_path / "swap.synart"
         compile_dictionary(dictionary, path, version="gen-1", click_log=click_log)
-        daemon = MatchDaemon(path, port=0, watch_interval=0.05).start()
-        try:
-            with ServerClient(daemon.host, daemon.port) as client:
-                client.wait_until_ready()
-                assert client.match("brand new synonym")["matched"] is False
+        with daemon_server(path, watch_interval=0.05) as (_daemon, client):
+            assert client.match("brand new synonym")["matched"] is False
 
-                # Republish: the background watcher must pick it up without
-                # any explicit reload call.
-                compile_dictionary(
-                    SynonymDictionary(
-                        list(ENTRIES) + [DictionaryEntry("brand new synonym", "m3", "mined", 5.0)]
-                    ),
-                    path,
-                    version="gen-2",
-                    click_log=click_log,
-                )
-                deadline = time.monotonic() + 10
-                while time.monotonic() < deadline:
-                    if client.healthz()["artifact_version"] == "gen-2":
-                        break
-                    time.sleep(0.02)
-                stats = client.stats()
-                assert stats["artifact"]["version"] == "gen-2"
-                assert stats["watcher"]["swaps"] >= 1
-                assert stats["service"]["reloads"] >= 1
-                assert client.match("brand new synonym")["entities"] == ["m3"]
+            # Republish: the background watcher must pick it up without
+            # any explicit reload call.
+            compile_dictionary(
+                SynonymDictionary(
+                    list(ENTRIES) + [DictionaryEntry("brand new synonym", "m3", "mined", 5.0)]
+                ),
+                path,
+                version="gen-2",
+                click_log=click_log,
+            )
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if client.healthz()["artifact_version"] == "gen-2":
+                    break
+                time.sleep(0.02)
+            stats = client.stats()
+            assert stats["artifact"]["version"] == "gen-2"
+            assert stats["watcher"]["swaps"] >= 1
+            assert stats["service"]["reloads"] >= 1
+            assert client.match("brand new synonym")["entities"] == ["m3"]
 
-                # Explicit admin reload still works alongside the watcher.
-                payload = client.reload()
-                assert payload == {"reloaded": True, "artifact_version": "gen-2"}
-        finally:
-            daemon.stop()
+            # Explicit admin reload still works alongside the watcher.
+            payload = client.reload()
+            assert payload == {"reloaded": True, "artifact_version": "gen-2"}
 
     def test_watcher_applies_delta_sidecar(self, dictionary, click_log, tmp_path):
         """An incremental publish (delta sidecar) hot-swaps under traffic."""
@@ -295,48 +275,38 @@ class TestHotSwap:
 
         path = tmp_path / "delta-swap.synart"
         compile_dictionary(dictionary, path, version="gen-1", click_log=click_log)
-        daemon = MatchDaemon(path, port=0, watch_interval=0.05).start()
-        try:
-            with ServerClient(daemon.host, daemon.port) as client:
-                client.wait_until_ready()
-                assert client.match("journal synonym")["matched"] is False
+        with daemon_server(path, watch_interval=0.05) as (_daemon, client):
+            assert client.match("journal synonym")["matched"] is False
 
-                diff_delta(
-                    SynonymArtifact.load(path),
-                    SynonymDictionary(
-                        list(ENTRIES)
-                        + [DictionaryEntry("journal synonym", "m3", "mined", 9.0)]
-                    ),
-                    delta_path_for(path),
-                    version="gen-2",
-                    click_log=click_log,
-                )
-                deadline = time.monotonic() + 10
-                while time.monotonic() < deadline:
-                    if client.healthz()["artifact_version"] == "gen-2":
-                        break
-                    time.sleep(0.02)
-                stats = client.stats()
-                assert stats["artifact"]["version"] == "gen-2"
-                assert stats["service"]["deltas_applied"] == 1
-                assert stats["service"]["reloads"] == 0  # no full cold load
-                assert client.match("journal synonym")["entities"] == ["m3"]
-                # The applied priors serve /resolve like a full compile's.
-                resolved = client.resolve("journal synonym")
-                assert resolved["ranked"][0]["entity_id"] == "m3"
-        finally:
-            daemon.stop()
+            diff_delta(
+                SynonymArtifact.load(path),
+                SynonymDictionary(
+                    list(ENTRIES)
+                    + [DictionaryEntry("journal synonym", "m3", "mined", 9.0)]
+                ),
+                delta_path_for(path),
+                version="gen-2",
+                click_log=click_log,
+            )
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if client.healthz()["artifact_version"] == "gen-2":
+                    break
+                time.sleep(0.02)
+            stats = client.stats()
+            assert stats["artifact"]["version"] == "gen-2"
+            assert stats["service"]["deltas_applied"] == 1
+            assert stats["service"]["reloads"] == 0  # no full cold load
+            assert client.match("journal synonym")["entities"] == ["m3"]
+            # The applied priors serve /resolve like a full compile's.
+            resolved = client.resolve("journal synonym")
+            assert resolved["ranked"][0]["entity_id"] == "m3"
 
     def test_reload_without_path_conflicts_409(self, artifact_path):
-        daemon = MatchDaemon(SynonymArtifact.load(artifact_path), port=0).start()
-        try:
-            with ServerClient(daemon.host, daemon.port) as client:
-                client.wait_until_ready()
-                with pytest.raises(ServerError) as excinfo:
-                    client.reload()
-                assert excinfo.value.status == 409
-        finally:
-            daemon.stop()
+        with daemon_server(SynonymArtifact.load(artifact_path)) as (_daemon, client):
+            with pytest.raises(ServerError) as excinfo:
+                client.reload()
+            assert excinfo.value.status == 409
 
     def test_requests_survive_concurrent_traffic(self, daemon):
         """A light in-process load test: one client per thread, all green."""
@@ -419,7 +389,7 @@ class TestSnapshotConsistency:
 
 class TestDaemonLifecycle:
     def test_start_twice_rejected(self, artifact_path):
-        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0).start()
+        daemon = start_daemon(artifact_path, watch_interval=0)
         try:
             with pytest.raises(RuntimeError):
                 daemon.start()
@@ -483,31 +453,14 @@ class TestDaemonLifecycle:
         traffic, and exit 0 with a final stats line on stderr — no
         traceback.
         """
-        src = str(Path(__file__).resolve().parents[2] / "src")
-        proc = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "server",
-                "--artifact", str(artifact_path), "--port", "0",
-                "--watch-interval", "0",
-            ],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            env=dict(os.environ, PYTHONPATH=src),
-        )
-        try:
-            banner = proc.stdout.readline()
-            port = int(re.search(r"http://127\.0\.0\.1:(\d+)", banner).group(1))
-            with ServerClient(port=port) as client:
+        with cli_server(
+            "--artifact", str(artifact_path), "--port", "0", "--watch-interval", "0"
+        ) as server:
+            with ServerClient(port=server.port) as client:
                 client.wait_until_ready(timeout=15)
                 assert client.match("lyra quinn")["matched"] is True
-            proc.send_signal(signal.SIGTERM)
-            _, err = proc.communicate(timeout=15)
-        finally:
-            if proc.poll() is None:
-                proc.kill()
-                proc.communicate(timeout=15)
-        assert proc.returncode == 0, err
+            code, _out, err = server.stop()
+        assert code == 0, err
         assert "SIGTERM" in err
         assert "served 1 queries" in err
         assert "socket closed" in err

@@ -3,8 +3,9 @@
 import pytest
 
 from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
-from repro.server import DEFAULT_PORT, MatchDaemon, ServerClient
+from repro.server import DEFAULT_PORT, ServerClient
 from repro.serving.artifact import compile_dictionary
+from tests.conftest import daemon_server, start_daemon
 
 
 @pytest.fixture()
@@ -44,20 +45,15 @@ class TestAddressing:
 
 class TestTransport:
     def test_keep_alive_connection_is_reused(self, artifact_path):
-        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0).start()
-        try:
-            with ServerClient(daemon.host, daemon.port) as client:
-                client.wait_until_ready()
-                first = client._connection
-                client.match("indy 4")
-                client.match("indy 4")
-                assert client._connection is first
-        finally:
-            daemon.stop()
+        with daemon_server(artifact_path, watch_interval=0) as (_daemon, client):
+            first = client._connection
+            client.match("indy 4")
+            client.match("indy 4")
+            assert client._connection is first
 
     def test_reconnects_after_server_restart(self, artifact_path):
         """The retry path: a dead keep-alive socket is reopened, once."""
-        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0).start()
+        daemon = start_daemon(artifact_path, watch_interval=0)
         port = daemon.port
         client = ServerClient(daemon.host, port)
         try:
@@ -65,7 +61,8 @@ class TestTransport:
             assert client.match("indy 4")["matched"] is True
             daemon.stop()
             # Same port, fresh server: the old pooled socket is dead.
-            daemon = MatchDaemon(artifact_path, port=port, watch_interval=0).start()
+            # start_daemon's EADDRINUSE retry absorbs the rebind race.
+            daemon = start_daemon(artifact_path, port=port, watch_interval=0)
             assert client.match("indy 4")["matched"] is True
         finally:
             client.close()

@@ -11,13 +11,8 @@ import io
 import json
 import os
 import random
-import re
-import signal
-import subprocess
-import sys
 import threading
 import time
-from pathlib import Path
 
 import pytest
 
@@ -25,8 +20,7 @@ from repro.matching.dictionary import DictionaryEntry, SynonymDictionary
 from repro.server import MatchDaemon, ServerClient, ServerSupervisor, reuse_port_supported
 from repro.server.metrics import BUCKET_BOUNDS_S, AccessLog, LatencyHistogram, MetricsRegistry
 from repro.serving.artifact import compile_dictionary
-
-SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+from tests.conftest import SRC_DIR, cli_server, daemon_server
 
 needs_reuse_port = pytest.mark.skipif(
     not reuse_port_supported(), reason="SO_REUSEPORT unavailable on this platform"
@@ -198,17 +192,11 @@ class TestAccessLogSampling:
 
 class TestDaemonLatencyStats:
     def test_stats_report_per_endpoint_latency_summaries(self, artifact_path):
-        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0)
-        daemon.start()
-        try:
-            with ServerClient(daemon.host, daemon.port) as client:
-                client.wait_until_ready()
-                for _ in range(5):
-                    assert client.match("indy 4")["matched"] is True
-                client.resolve("indy 4")
-                latency = client.stats()["latency"]
-        finally:
-            daemon.stop()
+        with daemon_server(artifact_path, watch_interval=0) as (_daemon, client):
+            for _ in range(5):
+                assert client.match("indy 4")["matched"] is True
+            client.resolve("indy 4")
+            latency = client.stats()["latency"]
         assert latency["match"]["count"] == 5
         assert latency["resolve"]["count"] == 1
         assert latency["healthz"]["count"] >= 1
@@ -219,20 +207,14 @@ class TestDaemonLatencyStats:
 
     def test_errors_are_recorded_with_their_status(self, artifact_path):
         stream = io.StringIO()
-        daemon = MatchDaemon(
-            artifact_path, port=0, watch_interval=0, max_batch=2,
+        with daemon_server(
+            artifact_path, watch_interval=0, max_batch=2,
             access_log=AccessLog(1.0, stream=stream),
-        )
-        daemon.start()
-        try:
-            with ServerClient(daemon.host, daemon.port) as client:
-                client.wait_until_ready()
-                client.match("indy 4")
-                with pytest.raises(Exception):
-                    client.match_many(["q"] * 3)  # 413 over max_batch
-                latency = client.stats()["latency"]
-        finally:
-            daemon.stop()
+        ) as (_daemon, client):
+            client.match("indy 4")
+            with pytest.raises(Exception):
+                client.match_many(["q"] * 3)  # 413 over max_batch
+            latency = client.stats()["latency"]
         assert latency["match"]["count"] == 2  # the 413 is latency too
         statuses = [
             json.loads(line)["status"] for line in stream.getvalue().splitlines()
@@ -240,15 +222,9 @@ class TestDaemonLatencyStats:
         assert 200 in statuses and 413 in statuses
 
     def test_single_process_daemon_reports_null_worker(self, artifact_path):
-        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0)
-        daemon.start()
-        try:
-            with ServerClient(daemon.host, daemon.port) as client:
-                client.wait_until_ready()
-                assert client.healthz()["worker"] is None
-                assert client.stats()["server"]["worker"] is None
-        finally:
-            daemon.stop()
+        with daemon_server(artifact_path, watch_interval=0) as (_daemon, client):
+            assert client.healthz()["worker"] is None
+            assert client.stats()["server"]["worker"] is None
 
     def test_uptime_is_monotonic_not_wall_clock(self, artifact_path):
         """An NTP step moves started_unix's meaning, never uptime_s."""
@@ -325,33 +301,17 @@ class TestMultiProcessFrontEnd:
         every request rather than silently writing nothing.
         """
         access_log = tmp_path / "access.log"
-        proc = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "server",
-                "--artifact", str(artifact_path), "--port", "0",
-                "--watch-interval", "0", "--procs", "2",
-                "--access-log", str(access_log),
-            ],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            env=dict(os.environ, PYTHONPATH=SRC_DIR),
-        )
-        try:
-            banner = proc.stdout.readline()
-            assert "2 procs via SO_REUSEPORT" in banner, banner
-            port = int(re.search(r"http://127\.0\.0\.1:(\d+)", banner).group(1))
-            ServerClient(port=port).wait_until_ready(timeout=60)
+        with cli_server(
+            "--artifact", str(artifact_path), "--port", "0",
+            "--watch-interval", "0", "--procs", "2",
+            "--access-log", str(access_log),
+        ) as server:
+            assert "2 procs via SO_REUSEPORT" in server.banner, server.banner
             for _ in range(50):
-                with ServerClient(port=port) as client:
+                with ServerClient(port=server.port) as client:
                     assert client.match("indy 4")["matched"] is True
-            proc.send_signal(signal.SIGTERM)
-            _, err = proc.communicate(timeout=30)
-        finally:
-            if proc.poll() is None:
-                proc.kill()
-                proc.communicate(timeout=30)
-        assert proc.returncode == 0, err
+            code, _out, err = server.stop(timeout=30)
+        assert code == 0, err
         assert "supervisor: SIGTERM" in err, err
         assert "Traceback" not in err, err
 

@@ -229,15 +229,9 @@ class TestServiceMmap:
         service.close()
 
     def test_stats_payload_reports_mmap(self, artifact_path):
-        from repro.server.daemon import MatchDaemon
+        from tests.conftest import daemon_server
 
-        daemon = MatchDaemon(artifact_path, port=0, watch_interval=0, mmap=True)
-        try:
-            assert daemon.stats_payload()["artifact"]["mmap"] is True
-        finally:
-            daemon.stop()
-        heap_daemon = MatchDaemon(artifact_path, port=0, watch_interval=0)
-        try:
-            assert heap_daemon.stats_payload()["artifact"]["mmap"] is False
-        finally:
-            heap_daemon.stop()
+        with daemon_server(artifact_path, watch_interval=0, mmap=True) as (_d, client):
+            assert client.stats()["artifact"]["mmap"] is True
+        with daemon_server(artifact_path, watch_interval=0) as (_d, client):
+            assert client.stats()["artifact"]["mmap"] is False
