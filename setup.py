@@ -11,9 +11,20 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    zip_safe=False,
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
+    extras_require={
+        "dev": [
+            "mypy==1.15.0",
+            "ruff==0.9.6",
+            "pytest>=8.0",
+            "pytest-benchmark>=4.0",
+            "hypothesis>=6.98",
+        ]
+    },
 )

@@ -1,0 +1,55 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON schema is versioned and pinned by ``tests/analysis`` so CI
+tooling can depend on it::
+
+    {
+      "format": 1,
+      "count": 2,
+      "findings": [
+        {"path": "...", "line": 10, "col": 4,
+         "rule": "lock-guarded-attr", "message": "..."},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.engine import Finding
+
+__all__ = ["JSON_FORMAT_VERSION", "render_json", "render_text"]
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: rule: message`` line per finding + a tally."""
+    lines = [finding.format() for finding in findings]
+    if findings:
+        lines.append(f"{len(findings)} finding{'s' if len(findings) != 1 else ''}")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Versioned JSON document (stable key order, sorted findings)."""
+    payload = {
+        "format": JSON_FORMAT_VERSION,
+        "count": len(findings),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,30 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name", "self_attr_name"]
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Flatten ``a.b.c`` Name/Attribute chains; "" when not a plain chain."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def self_attr_name(node: ast.AST) -> str:
+    """``self.X`` -> ``"X"``; "" for anything else (incl. ``self.a.b``)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""

@@ -201,7 +201,8 @@ class FrozenClickIndex:
     @property
     def cache_stats(self) -> CacheStats:
         """Cumulative profile-cache counters since construction/reset."""
-        return CacheStats(hits=self._hits, misses=self._misses)
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses)
 
     def reset_cache(self) -> None:
         """Drop memoized profiles and zero the counters."""

@@ -25,7 +25,7 @@ from repro.core.candidates import CandidateGenerator
 from repro.core.config import MinerConfig
 from repro.core.selection import CandidateScorer, CandidateSelector
 from repro.core.surrogates import SurrogateFinder
-from repro.core.types import EntitySynonyms, MiningResult, SynonymCandidate
+from repro.core.types import EntitySynonyms, MiningResult
 from repro.search.engine import SearchEngine
 from repro.storage.sqlite_store import LogDatabase
 from repro.text.normalize import normalize

@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterator
 from repro.scenarios.spec import Scenario
 from repro.scenarios.workload import (
     Catalog,
+    Request,
     build_catalog,
     catalog_fingerprint,
     click_log_from_rows,
@@ -131,7 +132,7 @@ class Experiment:
         # last published so each generation diffs against the previous
         # one (chained deltas), never against a stale base.
         self._base: SynonymArtifact | None = None
-        self._rows: list[dict] = []
+        self._rows: list[dict[str, Any]] = []
         self._generation = 0
         self._published_version = ""
         self._last_publish = 0.0
@@ -220,7 +221,7 @@ class Experiment:
         self, client: ServerClient, admin: ServerClient, repeat: int, catalog: Catalog
     ) -> dict[str, Any]:
         scenario = self.scenario
-        plan: Iterator = request_stream(scenario, catalog, repeat=repeat)
+        plan: Iterator[Request] = request_stream(scenario, catalog, repeat=repeat)
         latencies: dict[str, list[float]] = {"match": [], "resolve": []}
         requests = queries = errors = 0
         start = time.monotonic()

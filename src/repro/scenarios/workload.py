@@ -20,7 +20,7 @@ import hashlib
 import random
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.clicklog.log import ClickLog
 from repro.clicklog.records import ClickRecord
@@ -88,7 +88,7 @@ class Request:
 class Catalog:
     """Synthesized catalog plus the pre-computed zipf pick tables."""
 
-    rows: tuple[dict, ...]
+    rows: tuple[dict[str, Any], ...]
     aliases: tuple[str, ...]
     cum_weights: tuple[float, ...]
     multilingual_aliases: frozenset[str]
@@ -130,7 +130,7 @@ def build_catalog(scenario: Scenario) -> Catalog:
     so the head of the catalog is also the head of the query stream.
     """
     rng = random.Random(f"{scenario.seed}:catalog")
-    rows: list[dict] = []
+    rows: list[dict[str, Any]] = []
     aliases: list[str] = []
     weights: list[float] = []
     multilingual: set[str] = set()
@@ -175,7 +175,7 @@ def build_catalog(scenario: Scenario) -> Catalog:
     )
 
 
-def dictionary_from_rows(rows: Sequence[dict]) -> SynonymDictionary:
+def dictionary_from_rows(rows: Sequence[dict[str, Any]]) -> SynonymDictionary:
     """Mined rows -> dictionary, canonical-as-entity-id convention."""
     dictionary = SynonymDictionary()
     for row in rows:
@@ -191,7 +191,7 @@ def dictionary_from_rows(rows: Sequence[dict]) -> SynonymDictionary:
     return dictionary
 
 
-def click_log_from_rows(rows: Sequence[dict]) -> ClickLog:
+def click_log_from_rows(rows: Sequence[dict[str, Any]]) -> ClickLog:
     """Click log consistent with the rows' click volumes (for priors).
 
     Every alias clicks through to its entity's one URL, so entity priors
@@ -208,7 +208,7 @@ def click_log_from_rows(rows: Sequence[dict]) -> ClickLog:
     )
 
 
-def catalog_fingerprint(rows: Sequence[dict]) -> str:
+def catalog_fingerprint(rows: Sequence[dict[str, Any]]) -> str:
     """Order-sensitive sha256 of the rows; equal rows <=> equal artifact."""
     digest = hashlib.sha256()
     for row in rows:
@@ -306,8 +306,8 @@ def request_stream(
 
 
 def mutate_rows(
-    rows: Sequence[dict], scenario: Scenario, *, generation: int
-) -> list[dict]:
+    rows: Sequence[dict[str, Any]], scenario: Scenario, *, generation: int
+) -> list[dict[str, Any]]:
     """Rows for delta *generation*: churn ``dirty_fraction`` of entities.
 
     Each dirty entity gains one fresh alias and re-weights an existing

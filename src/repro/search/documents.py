@@ -7,7 +7,7 @@ collection of pages with convenience constructors for the simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.text.normalize import normalize

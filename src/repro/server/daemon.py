@@ -59,7 +59,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 from urllib.parse import parse_qs, urlparse
 
 from repro.matching.matcher import EntityMatch
@@ -649,7 +649,9 @@ def _make_handler(daemon: MatchDaemon) -> type[BaseHTTPRequestHandler]:
                 return {"query": values[0]}
             return {"queries": values}
 
-        def _dispatch(self, endpoint: str, handler) -> None:
+        def _dispatch(
+            self, endpoint: str, handler: Callable[[], dict[str, Any]]
+        ) -> None:
             daemon._count(endpoint)
             status = 200
             started = time.perf_counter()

@@ -91,7 +91,8 @@ class LatencyHistogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     def quantile(self, q: float) -> float | None:
         """The q-quantile in seconds (None while empty).
@@ -259,7 +260,9 @@ class AccessLog:
         with self._lock:
             if self._stream.closed:
                 return False
+            # repro: allow(lock-blocking-call) whole-line append under the lock is the point
             self._stream.write(line + "\n")
+            # repro: allow(lock-blocking-call) flush-before-unlock keeps multi-process lines whole
             self._stream.flush()
         return True
 

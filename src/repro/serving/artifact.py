@@ -41,7 +41,7 @@ import struct
 import sys
 from array import array
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Mapping, Protocol
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Protocol
 
 from repro.matching.dictionary import DictionaryEntry
 from repro.storage.artifact import (
@@ -55,6 +55,10 @@ from repro.storage.artifact import (
 )
 from repro.text.normalize import normalize
 from repro.text.tokenize import tokenize
+
+if TYPE_CHECKING:
+    # Import cycle: repro.serving.delta imports the pack helpers above.
+    from repro.serving.delta import DictionaryDelta
 
 __all__ = [
     "ARTIFACT_KIND",
@@ -91,7 +95,7 @@ def _pack(typecode: str, values: Iterable[int | float]) -> bytes:
     return packed.tobytes()
 
 
-def _unpack(typecode: str, block: memoryview) -> array:
+def _unpack(typecode: str, block: memoryview) -> array[Any]:
     values = array(typecode)
     values.frombytes(block)
     return values
@@ -423,12 +427,13 @@ class SynonymArtifact:
         self._mapping = mapping
         foreign = extra.get("byteorder", sys.byteorder) != sys.byteorder
 
-        def typed(name: str, typecode: str):
+        def typed(name: str, typecode: str) -> "memoryview | array[Any]":
             block = blocks[name]
             if foreign:
                 values = _unpack(typecode, block)
                 values.byteswap()
                 return values
+            # repro: allow(explicit-endian) native cast is gated on the manifest byteorder above
             view = block.cast(typecode)
             if mapping is not None:
                 mapping.adopt(view)
@@ -448,6 +453,8 @@ class SynonymArtifact:
         self._token_postings = typed("token.postings", _U32)
         # Layout-1 artifacts predate the priors block; they load unchanged
         # and simply report has_priors == False.
+        self._prior_entity: "memoryview | array[Any] | None"
+        self._prior_value: "memoryview | array[Any] | None"
         if "priors.entity" in blocks:
             self._prior_entity = typed("priors.entity", _U32)
             self._prior_value = typed("priors.value", _F64)
@@ -574,7 +581,7 @@ class SynonymArtifact:
             self._entries[entry_id] = cached
         return cached
 
-    def _find(self, sorted_sids: "array | memoryview", needle: bytes) -> int:
+    def _find(self, sorted_sids: "array[Any] | memoryview", needle: bytes) -> int:
         """Binary search *needle* in a byte-sorted string-id array (-1 miss)."""
         lo, hi = 0, len(sorted_sids)
         while lo < hi:
@@ -684,7 +691,7 @@ class SynonymArtifact:
                 self._entry_weight[entry_id],
             )
 
-    def apply_delta(self, delta) -> "SynonymArtifact":
+    def apply_delta(self, delta: "DictionaryDelta") -> "SynonymArtifact":
         """Apply a :class:`~repro.serving.delta.DictionaryDelta` in memory.
 
         Returns the post-apply artifact; refuses (with

@@ -36,8 +36,9 @@ from __future__ import annotations
 import sys
 from array import array
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
+from repro.matching.dictionary import DictionaryEntry
 from repro.serving.artifact import (
     ARTIFACT_KIND,
     ClickVolumeSource,
@@ -370,7 +371,7 @@ def merge_state(
         return merged, None
     updates = delta.prior_updates or {}
     priors: dict[str, float] = {}
-    for entity_id in {entry[1] for entry in merged}:
+    for entity_id in sorted({entry[1] for entry in merged}):
         if entity_id in updates:
             priors[entity_id] = float(updates[entity_id])
         elif entity_id in base_priors:
@@ -450,7 +451,7 @@ def apply_delta(
 
 def diff_delta(
     base: SynonymArtifact,
-    new_dictionary: Iterable,
+    new_dictionary: Iterable[DictionaryEntry | EntryTuple],
     path: str | Path,
     *,
     version: str,

@@ -332,7 +332,7 @@ def read_manifest(path: str | Path) -> ArtifactManifest:
     return _decode_manifest(manifest_bytes, str(path))
 
 
-class ArtifactMapping(_MappingABC):
+class ArtifactMapping(_MappingABC[str, memoryview]):
     """Ownership handle for one artifact served straight out of ``mmap``.
 
     Behaves as a read-only ``Mapping[str, memoryview]`` of block name →

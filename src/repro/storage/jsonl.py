@@ -63,7 +63,7 @@ def append_jsonl(path: str | Path, records: Iterable[Any]) -> int:
     return count
 
 
-def read_jsonl(path: str | Path) -> Iterator[dict]:
+def read_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
     """Yield each line of *path* parsed as a JSON object.
 
     Blank lines are skipped; malformed lines raise ``ValueError`` with the

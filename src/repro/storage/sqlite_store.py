@@ -101,7 +101,9 @@ class LogDatabase:
         """Insert (canonical, synonym, ipc, icr, clicks) rows."""
         return self._bulk_insert(SYNONYM_SCHEMA, records)
 
-    def _bulk_insert(self, schema: TableSchema, records: Iterable[Sequence]) -> int:
+    def _bulk_insert(
+        self, schema: TableSchema, records: Iterable[Sequence[object]]
+    ) -> int:
         rows = [tuple(record) for record in records]
         if not rows:
             return 0
@@ -116,7 +118,7 @@ class LogDatabase:
     def search_results(self, query: str, *, max_rank: int | None = None) -> list[tuple[str, int]]:
         """Return (url, rank) rows for *query*, optionally limited to rank ≤ max_rank."""
         sql = "SELECT url, rank FROM search_log WHERE query = ?"
-        params: list = [query]
+        params: list[object] = [query]
         if max_rank is not None:
             sql += " AND rank <= ?"
             params.append(max_rank)
@@ -169,7 +171,7 @@ class LogDatabase:
         if table not in known:
             raise ValueError(f"unknown table {table!r}; expected one of {sorted(known)}")
         (count,) = self._connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
-        return count
+        return int(count)
 
     def distinct_queries(self, table: str = "click_log") -> int:
         """Return the number of distinct query strings in a log table."""
@@ -179,4 +181,4 @@ class LogDatabase:
         (count,) = self._connection.execute(
             f"SELECT COUNT(DISTINCT query) FROM {table}"
         ).fetchone()
-        return count
+        return int(count)

@@ -1,0 +1,25 @@
+# repro: module(repro.scenarios.workload)
+"""Fixture: the seed-pure idioms the determinism rules bless."""
+
+import hashlib
+import random
+
+
+def shuffled(rows, seed: int):
+    rng = random.Random(f"{seed}:shuffle")
+    rows = list(rows)
+    rng.shuffle(rows)
+    return rows
+
+
+def fingerprint(rows) -> str:
+    digest = hashlib.sha256()
+    for row in sorted(rows):
+        digest.update(repr(row).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def methods_named_like_clocks(catalog):
+    # Attribute calls that merely *end* in a banned name are not the
+    # banned globals: catalog.time() is whatever catalog says it is.
+    return catalog.time()

@@ -1,0 +1,28 @@
+# repro: module(repro.scenarios.workload)
+"""Fixture: nondeterminism inside a seed-pure module."""
+
+import os
+import random
+import time
+
+
+def stamp_rows(rows):
+    stamped = []
+    for row in rows:
+        row = dict(row)
+        row["ts"] = time.time()  # VIOLATION: nondeterministic-call
+        row["token"] = os.urandom(8).hex()  # VIOLATION: nondeterministic-call
+        row["jitter"] = random.random()  # VIOLATION: nondeterministic-call
+        stamped.append(row)
+    return stamped
+
+
+def shuffled(rows):
+    rng = random.Random()  # VIOLATION: nondeterministic-call (unseeded)
+    rows = list(rows)
+    rng.shuffle(rows)
+    return rows
+
+
+def fingerprint(rows):
+    return hash(tuple(sorted(rows)))  # VIOLATION: nondeterministic-call

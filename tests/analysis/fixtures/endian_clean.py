@@ -1,0 +1,15 @@
+# repro: module(repro.storage.artifact)
+"""Fixture: explicit little-endian formats throughout."""
+
+import struct
+
+_HEADER = struct.Struct("<8sII")
+
+
+def pack_length(length: int) -> bytes:
+    return struct.pack("<Q", length)
+
+
+def read_count(raw: bytes) -> int:
+    (count,) = struct.unpack("<I", raw[:4])
+    return count

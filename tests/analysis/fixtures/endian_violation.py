@@ -1,0 +1,22 @@
+# repro: module(repro.storage.artifact)
+"""Fixture: native-endian packing in the artifact layer."""
+
+import struct
+
+_HEADER = struct.Struct("8sII")  # VIOLATION: explicit-endian
+
+
+def pack_length(length: int) -> bytes:
+    return struct.pack("Q", length)  # VIOLATION: explicit-endian
+
+
+def read_count(raw: bytes) -> int:
+    (count,) = struct.unpack("I", raw[:4])  # VIOLATION: explicit-endian
+    return count
+
+
+def typed_view(block: memoryview) -> memoryview:
+    view = block.cast("I")  # VIOLATION: explicit-endian (native-only cast)
+    values = list(view)
+    view.release()
+    return memoryview(bytes(values))

@@ -1,0 +1,33 @@
+"""Fixture: the blessed shapes — I/O outside the lock, containers inside."""
+
+import os
+import threading
+import time
+
+
+class FastUnderLock:
+    def __init__(self, stream) -> None:
+        self._lock = threading.Lock()
+        self._stream = stream
+        self._pending = {}
+
+    def publish(self, src: str, dst: str) -> None:
+        time.sleep(0.01)  # outside the lock: fine
+        os.replace(src, dst)
+        with self._lock:
+            # Container methods are not blocking I/O.
+            self._pending.pop(src, None)
+
+    def log(self, line: str) -> None:
+        with self._lock:
+            pending = self._pending.get(line)
+        if pending is None:
+            self._stream.write(line)
+            self._stream.flush()
+
+    def closure_runs_later(self):
+        with self._lock:
+            def flush() -> None:
+                # The closure body executes after the lock is released.
+                self._stream.flush()
+        return flush

@@ -1,0 +1,21 @@
+"""Fixture: blocking calls made while a lock is held."""
+
+import os
+import threading
+import time
+
+
+class SlowUnderLock:
+    def __init__(self, stream) -> None:
+        self._lock = threading.Lock()
+        self._stream = stream
+
+    def publish(self, src: str, dst: str) -> None:
+        with self._lock:
+            time.sleep(0.01)  # VIOLATION: lock-blocking-call
+            os.replace(src, dst)  # VIOLATION: lock-blocking-call
+
+    def log(self, line: str) -> None:
+        with self._lock:
+            self._stream.write(line)  # VIOLATION: lock-blocking-call
+            self._stream.flush()  # VIOLATION: lock-blocking-call

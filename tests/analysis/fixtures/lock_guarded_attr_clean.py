@@ -1,0 +1,40 @@
+"""Fixture: the same counter shapes, with the discipline followed."""
+
+import threading
+
+
+class SnapshotCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._slots = [0] * 8
+        self._limit = 8  # never assigned under the lock: unguarded
+
+    def record(self, index: int) -> None:
+        with self._lock:
+            self._count += 1
+            # Subscript stores do not mark `_slots` as guarded: mutating
+            # one slot is a different judgement than replacing the binding.
+            self._slots[index] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> tuple[int, list[int]]:
+        with self._lock:
+            return self._count, list(self._slots)
+
+    def limit(self) -> int:
+        return self._limit
+
+
+class NoLocks:
+    """No lock attribute in __init__: the rule stays out entirely."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def bump(self) -> None:
+        self._count += 1

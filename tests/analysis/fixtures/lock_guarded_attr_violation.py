@@ -1,0 +1,22 @@
+"""Fixture: a lock-guarded attribute read and written outside the lock."""
+
+import threading
+
+
+class TornCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += value
+
+    @property
+    def count(self) -> int:
+        return self._count  # VIOLATION: lock-guarded-attr (unlocked read)
+
+    def reset(self) -> None:
+        self._total = 0.0  # VIOLATION: lock-guarded-attr (unlocked write)

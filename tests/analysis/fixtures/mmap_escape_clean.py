@@ -1,0 +1,24 @@
+"""Fixture: every escaping cast view is registered with adopt()."""
+
+
+class BlockReader:
+    def __init__(self, mapping) -> None:
+        self._mapping = mapping
+        self._cached = None
+
+    def offsets(self, block: memoryview):
+        view = block.cast("Q")
+        return self._mapping.adopt(view)
+
+    def cache_entities(self, block: memoryview) -> None:
+        view = block.cast("I")
+        self._mapping.adopt(view)
+        self._cached = view
+
+    def weights(self, block: memoryview):
+        return self._mapping.adopt(block.cast("d"))
+
+    def checksum(self, block: memoryview) -> int:
+        # A view that never leaves the function needs no adoption.
+        view = block.cast("I")
+        return sum(view)

@@ -1,0 +1,17 @@
+"""Fixture: cast views escaping their function without adopt()."""
+
+
+class BlockReader:
+    def __init__(self, mapping) -> None:
+        self._mapping = mapping
+        self._cached = None
+
+    def offsets(self, block: memoryview):
+        view = block.cast("Q")
+        return view  # VIOLATION: mmap-view-escape (unadopted return)
+
+    def cache_entities(self, block: memoryview) -> None:
+        self._cached = block.cast("I")  # VIOLATION: mmap-view-escape (raw self-store)
+
+    def weights(self, block: memoryview):
+        return block.cast("d")  # VIOLATION: mmap-view-escape (raw return)

@@ -1,0 +1,19 @@
+# repro: module(repro.serving.delta)
+"""Fixture: set values ordered before they reach an output sequence."""
+
+
+def merged_ids(entries):
+    out = []
+    for entity_id in sorted({entry[1] for entry in entries}):
+        out.append(entity_id)
+    return out
+
+
+def as_list(names):
+    return sorted(set(names))
+
+
+def membership_only(names, needle):
+    # Sets used for membership (not iteration order) are fine.
+    seen = {name.lower() for name in names}
+    return needle in seen

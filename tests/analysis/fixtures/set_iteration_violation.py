@@ -1,0 +1,17 @@
+# repro: module(repro.serving.delta)
+"""Fixture: bare-set iteration feeding output sequences."""
+
+
+def merged_ids(entries):
+    out = []
+    for entity_id in {entry[1] for entry in entries}:  # VIOLATION: unordered-set-iteration
+        out.append(entity_id)
+    return out
+
+
+def as_list(names):
+    return list(set(names))  # VIOLATION: unordered-set-iteration
+
+
+def comprehension(names):
+    return [name.upper() for name in frozenset(names)]  # VIOLATION: unordered-set-iteration

@@ -1,0 +1,29 @@
+# repro: module(repro.scenarios.workload)
+"""Fixture: real violations silenced by `# repro: allow(<rule>)`."""
+
+import threading
+import time
+
+
+def stamp() -> float:
+    # repro: allow(nondeterministic-call) comment-above form
+    return time.time()
+
+
+def also_stamped() -> float:
+    return time.time()  # repro: allow(nondeterministic-call) same-line form
+
+
+class Sleeper:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def nap(self) -> None:
+        with self._lock:
+            # repro: allow(lock-blocking-call) fixture exercises suppression
+            time.sleep(0.0)
+
+    def wrong_rule_id(self) -> None:
+        with self._lock:
+            # repro: allow(nondeterministic-call) wrong id: does NOT suppress
+            time.sleep(0.0)  # VIOLATION: lock-blocking-call

@@ -1,0 +1,20 @@
+# repro: module(repro.serving.publisher)
+"""Fixture: serving-layer persistence through the blessed publish path."""
+
+from pathlib import Path
+
+from repro.storage.artifact import write_artifact
+
+
+def publish(path: str, manifest, blocks) -> None:
+    write_artifact(path, manifest, blocks)
+
+
+def read_manifest_text(path: Path) -> str:
+    with path.open("r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def read_blob(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()

@@ -1,0 +1,23 @@
+# repro: module(repro.serving.publisher)
+"""Fixture: serving-layer writes bypassing write_artifact."""
+
+import os
+from pathlib import Path
+
+
+def publish(path: str, blob: bytes) -> None:
+    with open(path, "wb") as handle:  # VIOLATION: artifact-write-path
+        handle.write(blob)
+
+
+def swap(tmp: str, final: str) -> None:
+    os.replace(tmp, final)  # VIOLATION: artifact-write-path
+
+
+def dump_manifest(path: Path, text: str) -> None:
+    path.write_text(text)  # VIOLATION: artifact-write-path
+
+
+def append_journal(path: Path, line: str) -> None:
+    with path.open("a", encoding="utf-8") as handle:  # VIOLATION: artifact-write-path
+        handle.write(line)

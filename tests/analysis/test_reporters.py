@@ -1,0 +1,60 @@
+"""Reporter output pinned: text shape and the versioned JSON schema."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import Finding
+from repro.analysis.reporters import JSON_FORMAT_VERSION, render_json, render_text
+
+FINDINGS = [
+    Finding(
+        path="src/a.py", line=3, col=4, rule="lock-guarded-attr", message="m1"
+    ),
+    Finding(
+        path="src/b.py", line=9, col=0, rule="explicit-endian", message="m2"
+    ),
+]
+
+
+def test_text_lists_each_finding_and_tally() -> None:
+    text = render_text(FINDINGS)
+    lines = text.splitlines()
+    assert lines[0] == "src/a.py:3:4: lock-guarded-attr: m1"
+    assert lines[1] == "src/b.py:9:0: explicit-endian: m2"
+    assert lines[2] == "2 findings"
+
+
+def test_text_singular_tally() -> None:
+    assert render_text(FINDINGS[:1]).splitlines()[-1] == "1 finding"
+
+
+def test_text_empty() -> None:
+    assert render_text([]) == "no findings"
+
+
+def test_json_schema() -> None:
+    payload = json.loads(render_json(FINDINGS))
+    assert payload["format"] == JSON_FORMAT_VERSION == 1
+    assert payload["count"] == 2
+    assert payload["findings"] == [
+        {
+            "path": "src/a.py",
+            "line": 3,
+            "col": 4,
+            "rule": "lock-guarded-attr",
+            "message": "m1",
+        },
+        {
+            "path": "src/b.py",
+            "line": 9,
+            "col": 0,
+            "rule": "explicit-endian",
+            "message": "m2",
+        },
+    ]
+
+
+def test_json_empty_is_valid_and_zero() -> None:
+    payload = json.loads(render_json([]))
+    assert payload == {"format": 1, "count": 0, "findings": []}
